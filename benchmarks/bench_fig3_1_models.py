@@ -1,0 +1,53 @@
+"""E1 — Figure 3-1: latency of the SIMD vs the skewed computation model.
+
+The paper's example: each stage takes 4 steps and the fourth step needs
+the previous cell's fourth-step result.  "The latency through each cell
+is 4 cycles in the SIMD model, but only one cycle in the skewed model."
+The bench regenerates that comparison and sweeps the stage size to show
+the paper's observation that the gap grows with per-stage computation.
+"""
+
+from repro.models import StageSpec, compare_models, figure_3_1_comparison
+
+
+def test_figure_3_1_comparison(benchmark, report):
+    comparison = benchmark(figure_3_1_comparison, 3, 3)
+    assert comparison.simd_latency_per_cell == 4
+    assert comparison.skewed_latency_per_cell == 1
+    lines = [
+        "Stage of 4 steps; step 4 consumes the neighbour's step-4 result",
+        f"{'model':<10} {'latency/cell':>13} {'3-cell, 3-iteration total':>26}",
+        f"{'SIMD':<10} {comparison.simd_latency_per_cell:>13} "
+        f"{comparison.simd_total:>26}",
+        f"{'skewed':<10} {comparison.skewed_latency_per_cell:>13} "
+        f"{comparison.skewed_total:>26}",
+        f"paper: SIMD latency 4 cycles/cell, skewed 1 cycle/cell "
+        f"-> reproduced {comparison.latency_ratio:.0f}x",
+    ]
+    report.section("Figure 3-1: SIMD vs skewed latency", "\n".join(lines))
+
+
+def test_latency_gap_grows_with_stage_size(benchmark, report):
+    def sweep():
+        rows = []
+        for n_steps in (2, 4, 8, 16, 32, 64):
+            spec = StageSpec(n_steps, n_steps, n_steps)
+            comparison = compare_models(spec, n_cells=10, n_iterations=1)
+            rows.append(
+                (
+                    n_steps,
+                    comparison.simd_latency_per_cell,
+                    comparison.skewed_latency_per_cell,
+                    comparison.latency_ratio,
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    lines = [f"{'steps/stage':>11} {'SIMD':>6} {'skewed':>7} {'ratio':>7}"]
+    for n_steps, simd, skewed, ratio in rows:
+        lines.append(f"{n_steps:>11} {simd:>6} {skewed:>7} {ratio:>6.0f}x")
+    assert rows[-1][3] > rows[0][3]
+    report.section(
+        "Figure 3-1 sweep: latency gap vs stage size", "\n".join(lines)
+    )

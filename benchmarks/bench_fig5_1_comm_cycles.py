@@ -1,0 +1,54 @@
+"""E3 — Figure 5-1: programs with and without communication cycles.
+
+Program A exchanges *unrelated* data in both directions (no cycles —
+mappable in principle, though outside the compiler's unidirectional
+subset); program B forwards what it receives in both directions (a right
+cycle and a left cycle — unmappable onto the skewed model)."""
+
+import pytest
+
+from repro.analysis import analyze_communication
+from repro.compiler import compile_w2
+from repro.errors import MappingError
+from repro.ir import build_ir
+from repro.lang import analyze, parse_module
+from repro.programs import bidirectional_cycle, bidirectional_exchange, passthrough
+
+
+def _classify(source):
+    ir = build_ir(analyze(parse_module(source)))
+    return analyze_communication(ir.tree)
+
+
+def test_figure_5_1_classification(benchmark, report):
+    def classify_all():
+        return {
+            "A (unrelated)": _classify(bidirectional_exchange()),
+            "B (forwarding)": _classify(bidirectional_cycle()),
+            "pipeline": _classify(passthrough()),
+        }
+
+    reports = benchmark(classify_all)
+    a = reports["A (unrelated)"]
+    b = reports["B (forwarding)"]
+    pipe = reports["pipeline"]
+    assert not a.has_right_cycles and not a.has_left_cycles and a.is_mappable
+    assert b.has_right_cycles and b.has_left_cycles and not b.is_mappable
+    assert pipe.has_right_cycles and not pipe.has_left_cycles
+
+    lines = [f"{'program':<16} {'right cyc':>9} {'left cyc':>9} {'mappable':>9}"]
+    for name, rep in reports.items():
+        lines.append(
+            f"{name:<16} {str(rep.has_right_cycles):>9} "
+            f"{str(rep.has_left_cycles):>9} {str(rep.is_mappable):>9}"
+        )
+    report.section("Figure 5-1: communication-cycle classification", "\n".join(lines))
+
+
+def test_compiler_rejection(benchmark):
+    def compile_b():
+        with pytest.raises(MappingError):
+            compile_w2(bidirectional_cycle())
+        return True
+
+    assert benchmark(compile_b)

@@ -1,0 +1,60 @@
+"""E4 — Figure 6-2 / Table 6-1 / Figure 6-3: the straight-line
+minimum-skew example.
+
+Regenerates the I/O timing table (tau_O, tau_I and their difference),
+the minimum skew of 3 cycles, and the two-cell execution diagram of
+Figure 6-3."""
+
+from repro.lang import Channel
+from repro.timing import (
+    input_stream,
+    minimum_skew_bound,
+    minimum_skew_exact,
+    output_stream,
+    stream_event_times,
+)
+from repro.timing.synthetic import figure_6_2_program
+
+
+def test_table_6_1(benchmark, report):
+    code = figure_6_2_program()
+    result = benchmark(minimum_skew_exact, code, Channel.X)
+    assert result.skew == 3
+    assert minimum_skew_bound(code, Channel.X).skew == 3
+
+    outs = stream_event_times(code, output_stream(Channel.X))
+    ins = stream_event_times(code, input_stream(Channel.X))
+    lines = [f"{'Number':>6} {'tau_O':>6} {'tau_I':>6} {'diff':>6}"]
+    for n, (o, i) in enumerate(zip(outs, ins)):
+        lines.append(f"{n:>6} {o:>6} {i:>6} {o - i:>6}")
+    lines.append(f"{'max':>6} {'':>6} {'':>6} {max(outs - ins):>6}")
+    lines.append("paper Table 6-1: diffs [-1, 3], minimum skew 3 -> reproduced")
+    report.section("Table 6-1: straight-line timing and skew", "\n".join(lines))
+
+
+def test_figure_6_3_two_cells(benchmark, report):
+    code = figure_6_2_program()
+    skew = minimum_skew_exact(code, Channel.X).skew
+
+    def build_diagram():
+        outs = stream_event_times(code, output_stream(Channel.X))
+        ins = stream_event_times(code, input_stream(Channel.X))
+        events: dict[int, list[str]] = {}
+        for n, t in enumerate(outs):
+            events.setdefault(int(t), []).append(("cell1", f"output{n}"))
+        for n, t in enumerate(ins):
+            events.setdefault(int(t), []).append(("cell1", f"input{n}"))
+        for n, t in enumerate(outs + skew):
+            events.setdefault(int(t), []).append(("cell2", f"output{n}"))
+        for n, t in enumerate(ins + skew):
+            events.setdefault(int(t), []).append(("cell2", f"input{n}"))
+        return events
+
+    events = build_diagram()
+    benchmark(build_diagram)
+    lines = [f"{'Time':>4}  {'Cell 1':<10} {'Cell 2':<10}   (skew = {skew})"]
+    for t in sorted(events):
+        cell1 = " ".join(n for c, n in events[t] if c == "cell1")
+        cell2 = " ".join(n for c, n in events[t] if c == "cell2")
+        lines.append(f"{t:>4}  {cell1:<10} {cell2:<10}")
+    report.section("Figure 6-3: two cells at minimum skew", "\n".join(lines))

@@ -1,0 +1,82 @@
+"""E6 — Table 6-5: operand allocation options for IU address generation.
+
+The paper's example: generate addresses for ``a[i, j+1]`` and
+``b[i+j, j]`` inside an ``i``/``j`` nest (N x N arrays).  Different
+register allocations trade registers against per-address arithmetic and
+per-iteration updates.  The bench regenerates the trade-off rows from
+the allocation planner."""
+
+from repro.iucodegen import Strategy, enumerate_allocation_options, plan_allocation
+from repro.iucodegen.allocation import LoopInfo
+from repro.lang.semantic import AffineIndex
+
+N = 32
+
+
+def _example():
+    a = AffineIndex(1, (("i", N), ("j", 1)))            # &a[i, j+1]
+    b = AffineIndex(N * N, (("i", N), ("j", N + 1)))    # &b[i+j, j]
+    loops = [LoopInfo("i", 0, 1, N), LoopInfo("j", 0, 1, N)]
+    return [a, b], loops
+
+
+def test_table_6_5_options(benchmark, report):
+    exprs, loops = _example()
+    plans = benchmark(enumerate_allocation_options, exprs, loops)
+
+    lines = [
+        "addresses: a[i, j+1] and b[i+j, j] in an i/j loop nest",
+        f"{'allocated to registers':<28} {'regs':>5} "
+        f"{'arith ops':>10} {'updates':>8}",
+    ]
+    for plan in plans:
+        lines.append(
+            f"{plan.strategy.value:<28} {plan.n_registers:>5} "
+            f"{plan.total_emission_adds:>10} "
+            f"{plan.updates_per_innermost_iteration:>8}"
+        )
+    lines.append(
+        "paper Table 6-5: 3 regs/6 ops/2 upd, 4 regs/2 ops/2 upd, "
+        "5 regs/1 op/3 upd — same register-vs-arithmetic trade-off shape"
+    )
+
+    # Full-address needs no arithmetic per emission; decomposed plans
+    # trade arithmetic for register sharing (the sharing pays off as the
+    # expression count grows — see the escalation bench below).
+    by_strategy = {plan.strategy: plan for plan in plans}
+    assert by_strategy[Strategy.FULL_ADDRESS].total_emission_adds == 0
+    assert (
+        by_strategy[Strategy.PER_PRODUCT].total_emission_adds
+        > by_strategy[Strategy.SHARED_SIGNATURE].total_emission_adds
+    )
+    report.section("Table 6-5: IU operand allocation options", "\n".join(lines))
+
+
+def test_strategy_escalation_under_pressure(benchmark, report):
+    """With many address expressions the cheap-arithmetic plan exceeds
+    16 registers and the planner escalates (the compiler then falls back
+    to table memory if nothing fits)."""
+    loops = [LoopInfo("i", 0, 1, 16), LoopInfo("j", 0, 1, 16)]
+    exprs = [
+        AffineIndex(base, (("i", 16), ("j", 1)))
+        for base in range(0, 512, 16)
+    ]  # 32 expressions sharing one signature
+
+    def escalate():
+        rows = []
+        for strategy in Strategy:
+            plan = plan_allocation(exprs, loops, strategy)
+            rows.append((strategy.value, plan.n_registers, plan.total_emission_adds))
+        return rows
+
+    rows = benchmark(escalate)
+    lines = [f"{'strategy':<20} {'regs':>5} {'arith':>6}"]
+    for name, regs, arith in rows:
+        lines.append(f"{name:<20} {regs:>5} {arith:>6}")
+    full = dict((r[0], r[1]) for r in rows)
+    assert full["full-address"] == 32       # would not fit the IU
+    assert full["shared-signature"] <= 16   # fits after sharing
+    report.section(
+        "Table 6-5 follow-on: strategy escalation at 32 expressions",
+        "\n".join(lines),
+    )

@@ -1,0 +1,31 @@
+"""Benchmark-suite support: a reporter that prints each experiment's
+reproduced table/figure in the terminal summary, so
+``pytest benchmarks/ --benchmark-only`` shows the paper artefacts next
+to the timing numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+class Reporter:
+    """Collects experiment output for the terminal summary."""
+
+    def section(self, title: str, body: str) -> None:
+        _REPORTS.append((title, body))
+
+
+@pytest.fixture(scope="session")
+def report() -> Reporter:
+    return Reporter()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artefacts")
+    for title, body in _REPORTS:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(body)

@@ -1,0 +1,66 @@
+"""Signal processing: systolic 1-D convolution (Table 7-1's "1d-Conv").
+
+One kernel element per cell, after Kung's design: partial sums flow at
+full speed while the signal is delayed one position per cell.  The
+example smooths a noisy waveform with a 9-tap kernel and shows the
+compile-time synchronisation facts (skew, buffer sizes) next to the
+run-time observations.
+
+Run:  python examples/signal_processing.py
+"""
+
+import numpy as np
+
+from repro import compile_w2, simulate
+from repro.programs import conv1d
+
+
+def main() -> None:
+    n, taps = 200, 9
+    rng = np.random.default_rng(5)
+    t = np.linspace(0, 6 * np.pi, n)
+    clean = np.sin(t) + 0.4 * np.sin(3.1 * t)
+    noisy = clean + rng.normal(0, 0.35, n)
+    kernel = np.hanning(taps)
+    kernel /= kernel.sum()
+
+    program = compile_w2(conv1d(n, taps), unroll=4)
+    print(f"compiled conv1d: {taps} cells, "
+          f"{program.metrics.cell_ucode} cell instructions")
+    print(f"minimum skew: {program.skew.skew} cycles")
+    for requirement in program.buffers:
+        print(f"    channel {requirement.channel}: needs "
+              f"{requirement.required} of 128 queue words")
+
+    result = simulate(program, {"x": noisy, "w": kernel})
+    smoothed = result.outputs["y"]
+    expected = np.convolve(noisy, kernel)[:n]
+    assert np.allclose(smoothed, expected)
+
+    # Steady-state error vs the clean signal (skip the filter ramp-up).
+    lag = taps // 2
+    aligned = smoothed[taps - 1:]
+    reference = clean[taps - 1 - lag: n - lag]
+    rms_before = float(np.sqrt(np.mean((noisy - clean) ** 2)))
+    rms_after = float(np.sqrt(np.mean((aligned - reference) ** 2)))
+    print(f"\nRMS error vs clean signal: {rms_before:.3f} noisy -> "
+          f"{rms_after:.3f} smoothed")
+
+    print(f"throughput: {result.total_cycles / n:.2f} cycles per sample "
+          f"(paper's fully-pipelined compiler: 1.0)")
+
+    # ASCII strip chart of a window.
+    lo, hi = 60, 140
+    print("\n    noisy:    " + strip(noisy[lo:hi]))
+    print("    smoothed: " + strip(smoothed[lo + lag:hi + lag]))
+
+
+def strip(values: np.ndarray) -> str:
+    glyphs = " .:-=+*#%@"
+    lo, hi = values.min(), values.max()
+    scaled = (values - lo) / max(hi - lo, 1e-9) * (len(glyphs) - 1)
+    return "".join(glyphs[int(v)] for v in scaled)
+
+
+if __name__ == "__main__":
+    main()

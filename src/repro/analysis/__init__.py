@@ -1,0 +1,27 @@
+"""Program analyses: local DAG optimisation, global dataflow summaries,
+communication-cycle classification and address classification."""
+
+from . import local_opt
+from .comm_graph import CommReport, analyze_communication
+from .dependence import (
+    IndexRange,
+    bounds_test_independent,
+    gcd_test_independent,
+    may_alias_any_iteration,
+    may_alias_same_iteration,
+)
+from .global_flow import GlobalFlowInfo, analyze_global_flow, eliminate_dead_writes
+
+__all__ = [
+    "CommReport",
+    "GlobalFlowInfo",
+    "IndexRange",
+    "analyze_communication",
+    "analyze_global_flow",
+    "bounds_test_independent",
+    "eliminate_dead_writes",
+    "gcd_test_independent",
+    "local_opt",
+    "may_alias_any_iteration",
+    "may_alias_same_iteration",
+]

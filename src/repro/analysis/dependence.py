@@ -1,0 +1,138 @@
+"""Array dependence testing on affine subscripts.
+
+The paper's global flow analysis is "powerful enough to distinguish
+between individual array elements and different iterations of a loop"
+(Section 6.1, citing Steenkiste's W2 dataflow report).  This module
+provides that power for *same-iteration* disambiguation: given two
+affine subscripts into the same array and the ranges of the loop
+indices, decide whether the two references can ever address the same
+element in the same iteration.
+
+Two classic tests, both conservative in the safe direction:
+
+* the **bounds (Banerjee) test** — the difference ``a - b`` is affine;
+  if its value range over the loop bounds excludes zero, the references
+  are independent;
+* the **GCD test** — if ``gcd`` of the difference's coefficients does
+  not divide its constant, ``a - b = 0`` has no integer solution at all.
+
+The IR builder uses :func:`may_alias_same_iteration` to prune
+store→load order edges and keep store-to-load forwarding entries alive
+across provably-disjoint stores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..lang.semantic import AffineIndex, affine_add
+
+
+@dataclass(frozen=True)
+class IndexRange:
+    """Inclusive value range of one loop index."""
+
+    low: int
+    high: int
+
+    @classmethod
+    def of_loop(cls, start: int, step: int, trip: int) -> "IndexRange":
+        last = start + step * (trip - 1)
+        return cls(min(start, last), max(start, last))
+
+
+def difference(a: AffineIndex, b: AffineIndex) -> AffineIndex:
+    """The affine form ``a - b``."""
+    return affine_add(a, b, sign=-1)
+
+
+def value_range(
+    form: AffineIndex, ranges: dict[str, IndexRange]
+) -> tuple[int, int] | None:
+    """Min/max of an affine form over the given index ranges.
+
+    Returns None when some variable's range is unknown (the caller must
+    then assume dependence).
+    """
+    low = high = form.constant
+    for var, coeff in form.coefficients:
+        bounds = ranges.get(var)
+        if bounds is None:
+            return None
+        if coeff >= 0:
+            low += coeff * bounds.low
+            high += coeff * bounds.high
+        else:
+            low += coeff * bounds.high
+            high += coeff * bounds.low
+    return low, high
+
+
+def gcd_test_independent(diff: AffineIndex) -> bool:
+    """True when ``diff = 0`` has no integer solution at all:
+    gcd(coefficients) does not divide the constant."""
+    if not diff.coefficients:
+        return diff.constant != 0
+    divisor = 0
+    for _var, coeff in diff.coefficients:
+        divisor = math.gcd(divisor, abs(coeff))
+    if divisor == 0:
+        return diff.constant != 0
+    return diff.constant % divisor != 0
+
+
+def bounds_test_independent(
+    diff: AffineIndex, ranges: dict[str, IndexRange]
+) -> bool:
+    """True when ``diff`` cannot be zero within the index ranges."""
+    bounds = value_range(diff, ranges)
+    if bounds is None:
+        return False
+    low, high = bounds
+    return low > 0 or high < 0
+
+
+def may_alias_same_iteration(
+    a: AffineIndex,
+    b: AffineIndex,
+    ranges: dict[str, IndexRange] | None = None,
+) -> bool:
+    """Can two references address the same element with the *same* loop
+    index values?  (The question the in-block scheduler asks: within one
+    iteration, may this load and that store touch the same word?)
+
+    ``a - b`` collapses identical index terms, so `w[i]` vs `w[i+1]`
+    is a constant difference of 1 — independent regardless of bounds.
+    """
+    diff = difference(a, b)
+    if gcd_test_independent(diff):
+        return False
+    if ranges and bounds_test_independent(diff, ranges):
+        return False
+    return True
+
+
+def may_alias_any_iteration(
+    a: AffineIndex,
+    b: AffineIndex,
+    ranges: dict[str, IndexRange],
+) -> bool:
+    """Can the references address the same element with *independent*
+    index values (cross-iteration dependence)?
+
+    Rename b's variables so the two occurrences are unconstrained, then
+    ask whether ``a - b'`` can be zero in the product space.
+    """
+    renamed = AffineIndex(
+        b.constant, tuple((f"{var}'", coeff) for var, coeff in b.coefficients)
+    )
+    extended = dict(ranges)
+    for var, bounds in list(ranges.items()):
+        extended[f"{var}'"] = bounds
+    diff = difference(a, renamed)
+    if gcd_test_independent(diff):
+        return False
+    if bounds_test_independent(diff, extended):
+        return False
+    return True

@@ -1,0 +1,99 @@
+"""Global dataflow analysis over the program tree (Section 6.1).
+
+The paper's global flow analyzer collects cross-basic-block dependence
+information "powerful enough to distinguish between individual array
+elements and different iterations of a loop" and inserts use/sequencing
+arcs so the code generator can overlap basic blocks.
+
+Our scheduler keeps blocks atomic (see DESIGN.md), so the cross-block
+facts we need are summaries:
+
+* which scalar variables are ever *read* across a block boundary — writes
+  of anything else are dead and removed (``eliminate_dead_writes``);
+* per-array read/write summaries with affine index sets, exposed through
+  :class:`GlobalFlowInfo` for diagnostics and the dependence tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.dag import Node, OpKind
+from ..ir.tree import BasicBlock, ProgramTree
+from ..lang.semantic import AffineIndex
+
+
+@dataclass
+class GlobalFlowInfo:
+    """Cross-block summaries of a cell program."""
+
+    #: Scalars read at some block entry (live across block boundaries).
+    read_scalars: frozenset[str]
+    #: Scalars written at some block exit.
+    written_scalars: frozenset[str]
+    #: Array name -> affine indices loaded anywhere.
+    array_loads: dict[str, list[AffineIndex]] = field(default_factory=dict)
+    #: Array name -> affine indices stored anywhere.
+    array_stores: dict[str, list[AffineIndex]] = field(default_factory=dict)
+
+    @property
+    def dead_written_scalars(self) -> frozenset[str]:
+        """Scalars written across blocks but never read — their WRITE
+        effects are removable."""
+        return self.written_scalars - self.read_scalars
+
+
+def analyze_global_flow(tree: ProgramTree) -> GlobalFlowInfo:
+    """Collect the cross-block summaries of ``tree``."""
+    read: set[str] = set()
+    written: set[str] = set()
+    loads: dict[str, list[AffineIndex]] = {}
+    stores: dict[str, list[AffineIndex]] = {}
+    for block in tree.blocks():
+        for node in block.dag.live_nodes():
+            if node.op is OpKind.READ:
+                read.add(node.attr)  # type: ignore[arg-type]
+            elif node.op is OpKind.WRITE:
+                written.add(node.attr)  # type: ignore[arg-type]
+            elif node.op is OpKind.LOAD:
+                loads.setdefault(node.attr.array, []).append(node.attr.index)
+            elif node.op is OpKind.STORE:
+                stores.setdefault(node.attr.array, []).append(node.attr.index)
+    return GlobalFlowInfo(
+        read_scalars=frozenset(read),
+        written_scalars=frozenset(written),
+        array_loads=loads,
+        array_stores=stores,
+    )
+
+
+def eliminate_dead_writes(tree: ProgramTree) -> int:
+    """Remove WRITE effects for scalars no block ever reads.
+
+    A WRITE at block exit exists to carry a value to a later block (or a
+    later iteration); if no block contains a READ of the variable, the
+    register update is dead.  Returns the number of writes removed.
+
+    READ nodes only exist for values crossing a block boundary (reads
+    satisfied inside a block are handled by the builder's value map), so
+    "never read anywhere" is exactly the right deadness condition for a
+    variable that is not externally observable.
+    """
+    info = analyze_global_flow(tree)
+    dead = info.dead_written_scalars
+    removed = 0
+    for block in tree.blocks():
+        dag = block.dag
+        doomed = {
+            node_id
+            for node_id in dag.effects
+            if dag.nodes[node_id].op is OpKind.WRITE and dag.nodes[node_id].attr in dead
+        }
+        if not doomed:
+            continue
+        removed += len(doomed)
+        dag.effects = [n for n in dag.effects if n not in doomed]
+        dag.order_edges = [
+            (a, b) for a, b in dag.order_edges if a not in doomed and b not in doomed
+        ]
+    return removed

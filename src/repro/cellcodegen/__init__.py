@@ -1,0 +1,63 @@
+"""Warp-array (cell) code generation: scheduling, register allocation and
+microcode emission (Section 6.2)."""
+
+from .emit import (
+    AddressDemand,
+    CellCode,
+    IOEvent,
+    ScheduledBlock,
+    ScheduledItem,
+    ScheduledLoop,
+    generate_cell_code,
+)
+from .isa import (
+    AddressSource,
+    AluOp,
+    DeqOp,
+    EnqOp,
+    Lit,
+    LoopMark,
+    LoopMarkKind,
+    MemOp,
+    MicroInstr,
+    MoveOp,
+    MpyOp,
+    Operand,
+    Reg,
+)
+from .layout import MemoryLayout, layout_memory
+from .pipeline import LoopPipelineStats, pipelining_report, resource_min_interval
+from .regalloc import RegisterAssignment, allocate_registers
+from .schedule import BlockSchedule, schedule_block
+
+__all__ = [
+    "AddressDemand",
+    "AddressSource",
+    "AluOp",
+    "BlockSchedule",
+    "CellCode",
+    "DeqOp",
+    "EnqOp",
+    "IOEvent",
+    "Lit",
+    "LoopMark",
+    "LoopMarkKind",
+    "MemOp",
+    "MemoryLayout",
+    "MicroInstr",
+    "LoopPipelineStats",
+    "MoveOp",
+    "MpyOp",
+    "Operand",
+    "Reg",
+    "RegisterAssignment",
+    "ScheduledBlock",
+    "ScheduledItem",
+    "ScheduledLoop",
+    "allocate_registers",
+    "generate_cell_code",
+    "layout_memory",
+    "pipelining_report",
+    "resource_min_interval",
+    "schedule_block",
+]

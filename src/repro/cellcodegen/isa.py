@@ -1,0 +1,209 @@
+"""The Warp cell micro-instruction set.
+
+Each micro-instruction is horizontal: one operation per functional unit
+per cycle, all controlled by separate fields (the real machine used
+micro-words of over 200 bits, Section 2.4).  Fields:
+
+* ``alu`` — the floating-point adder/ALU (adds, subtracts, compares,
+  boolean operations, select);
+* ``mpy`` — the floating-point multiplier (multiply, divide);
+* ``mem`` — up to two data-memory references;
+* ``io`` — queue operations (dequeue from a neighbour queue into a
+  register; enqueue a register/literal to a neighbour queue);
+* ``move`` — one register-to-register (or literal-to-register) transfer
+  over the crossbar;
+* ``control`` — loop begin/end markers interpreted by the sequencer in
+  parallel with the datapath (loop branches cost no extra cycle).
+
+Operands are registers or literals; memory addresses are either literals
+(compile-time constant) or dequeued from the address path fed by the IU
+(``AddressSource.QUEUE``) — Warp cells have no integer datapath.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..ir.dag import OpKind, QueueRef
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A physical register."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A literal operand (one literal field per instruction)."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = Union[Reg, Lit]
+
+
+class AddressSource(enum.Enum):
+    """Where a memory reference gets its address."""
+
+    LITERAL = "literal"  # compile-time constant address
+    QUEUE = "queue"      # next value from the IU address path
+
+
+@dataclass(frozen=True)
+class AluOp:
+    """An operation on the adder/ALU unit."""
+
+    op: OpKind
+    dest: Reg
+    sources: tuple[Operand, ...]
+
+
+@dataclass(frozen=True)
+class MpyOp:
+    """An operation on the multiplier unit."""
+
+    op: OpKind  # FMUL or FDIV
+    dest: Reg
+    sources: tuple[Operand, ...]
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """One data-memory reference."""
+
+    is_load: bool
+    address_source: AddressSource
+    address: int | None  # literal address; None when from the queue
+    reg: Reg | None      # destination (load) or source (store)
+    store_value: Operand | None = None  # source operand for stores
+
+    def __str__(self) -> str:
+        addr = "@q" if self.address_source is AddressSource.QUEUE else f"@{self.address}"
+        if self.is_load:
+            return f"load {addr} -> {self.reg}"
+        return f"store {self.store_value} -> {addr}"
+
+
+@dataclass(frozen=True)
+class DeqOp:
+    """Dequeue the next item of an input queue into a register."""
+
+    queue: QueueRef
+    dest: Reg
+
+    def __str__(self) -> str:
+        return f"deq {self.queue} -> {self.dest}"
+
+
+@dataclass(frozen=True)
+class EnqOp:
+    """Enqueue an operand onto an output queue."""
+
+    queue: QueueRef
+    source: Operand
+
+    def __str__(self) -> str:
+        return f"enq {self.source} -> {self.queue}"
+
+
+@dataclass(frozen=True)
+class MoveOp:
+    """A register/literal transfer over the crossbar."""
+
+    dest: Reg
+    source: Operand
+
+    def __str__(self) -> str:
+        return f"move {self.source} -> {self.dest}"
+
+
+class LoopMarkKind(enum.Enum):
+    BEGIN = "begin"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class LoopMark:
+    """Sequencer annotation: this instruction begins/ends loop ``loop_id``.
+
+    ``END`` marks consume one loop-control signal from the IU each time
+    they execute (continue vs. exit, Section 6.3.1).
+    """
+
+    kind: LoopMarkKind
+    loop_id: int
+
+
+@dataclass
+class MicroInstr:
+    """One horizontal micro-instruction (one cycle)."""
+
+    alu: AluOp | None = None
+    mpy: MpyOp | None = None
+    mem: list[MemOp] = field(default_factory=list)
+    deqs: list[DeqOp] = field(default_factory=list)
+    enqs: list[EnqOp] = field(default_factory=list)
+    move: MoveOp | None = None
+    #: Ordered innermost-first.
+    control: list[LoopMark] = field(default_factory=list)
+
+    def is_nop(self) -> bool:
+        return not (
+            self.alu
+            or self.mpy
+            or self.mem
+            or self.deqs
+            or self.enqs
+            or self.move
+            or self.control
+        )
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.alu:
+            srcs = ", ".join(str(s) for s in self.alu.sources)
+            parts.append(f"alu.{self.alu.op.value} {srcs} -> {self.alu.dest}")
+        if self.mpy:
+            srcs = ", ".join(str(s) for s in self.mpy.sources)
+            parts.append(f"mpy.{self.mpy.op.value} {srcs} -> {self.mpy.dest}")
+        parts.extend(str(m) for m in self.mem)
+        parts.extend(str(d) for d in self.deqs)
+        parts.extend(str(e) for e in self.enqs)
+        if self.move:
+            parts.append(str(self.move))
+        for mark in self.control:
+            parts.append(f"{mark.kind.value}:{mark.loop_id}")
+        return "; ".join(parts) if parts else "nop"
+
+
+#: DAG ops executed by the ALU field.
+ALU_OPS = frozenset(
+    {
+        OpKind.FADD,
+        OpKind.FSUB,
+        OpKind.FNEG,
+        OpKind.CMP_EQ,
+        OpKind.CMP_NE,
+        OpKind.CMP_LT,
+        OpKind.CMP_LE,
+        OpKind.CMP_GT,
+        OpKind.CMP_GE,
+        OpKind.BAND,
+        OpKind.BOR,
+        OpKind.BNOT,
+        OpKind.SELECT,
+    }
+)
+
+#: DAG ops executed by the multiplier field.
+MPY_OPS = frozenset({OpKind.FMUL, OpKind.FDIV})

@@ -1,0 +1,51 @@
+"""Cell data-memory layout.
+
+Arrays (and scalars demoted from registers under pressure) get base
+addresses in the 4K-word cell memory.  Layout is first-fit in declaration
+order; exceeding the memory raises :class:`MemoryOverflowError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MemoryOverflowError
+from ..config import CellConfig
+
+
+@dataclass
+class MemoryLayout:
+    """Base addresses of every memory-resident object on a cell."""
+
+    bases: dict[str, int] = field(default_factory=dict)
+    sizes: dict[str, int] = field(default_factory=dict)
+    total_words: int = 0
+
+    def base(self, name: str) -> int:
+        return self.bases[name]
+
+    def contains(self, name: str) -> bool:
+        return name in self.bases
+
+
+def layout_memory(
+    arrays: dict[str, int],
+    memory_scalars: set[str],
+    config: CellConfig,
+) -> MemoryLayout:
+    """Assign base addresses to ``arrays`` plus one word per demoted
+    scalar.  Deterministic: arrays in insertion order, scalars sorted."""
+    layout = MemoryLayout()
+    cursor = 0
+    items = list(arrays.items()) + [(name, 1) for name in sorted(memory_scalars)]
+    for name, size in items:
+        layout.bases[name] = cursor
+        layout.sizes[name] = size
+        cursor += size
+    layout.total_words = cursor
+    if cursor > config.memory_words:
+        raise MemoryOverflowError(
+            f"cell program needs {cursor} words of data memory; the cell "
+            f"has {config.memory_words}"
+        )
+    return layout

@@ -1,0 +1,37 @@
+"""Human-readable microcode listings."""
+
+from __future__ import annotations
+
+from .emit import CellCode, ScheduledBlock, ScheduledItem, ScheduledLoop
+
+
+def format_cell_code(code: CellCode) -> str:
+    """Render the cell microcode as an indented listing with loop
+    structure, one line per micro-instruction."""
+    lines: list[str] = []
+    _format_items(code.items, lines, indent="")
+    summary = (
+        f"; {code.n_instructions} micro-instructions, "
+        f"{code.total_cycles} cycles/cell, "
+        f"{len(code.pinned)} pinned registers, "
+        f"{code.layout.total_words} memory words"
+    )
+    return "\n".join([summary, *lines])
+
+
+def _format_items(
+    items: list[ScheduledItem], lines: list[str], indent: str
+) -> None:
+    for item in items:
+        if isinstance(item, ScheduledBlock):
+            lines.append(f"{indent}block b{item.block_id}:")
+            for cycle, instr in enumerate(item.instructions):
+                lines.append(f"{indent}  {cycle:4d}: {instr}")
+        else:
+            assert isinstance(item, ScheduledLoop)
+            lines.append(
+                f"{indent}loop L{item.loop_id} "
+                f"({item.var} = {item.start}, step {item.step}, "
+                f"{item.trip} iterations):"
+            )
+            _format_items(item.body, lines, indent + "    ")

@@ -1,0 +1,127 @@
+"""Pipelining-headroom analysis: resource-bound minimum initiation
+intervals.
+
+The paper's throughput claims (one result per cycle) rest on the
+software-pipelining techniques of its references [6, 7] (Patel &
+Davidson; Rau & Glaeser).  This reproduction substitutes loop unrolling;
+this module quantifies how far any schedule of a loop body could go —
+the *resource-constrained minimum initiation interval* (ResMII): no
+initiation scheme can start iterations faster than the busiest
+resource allows.
+
+``pipelining_report`` compares each innermost loop's achieved iteration
+length against its ResMII, measuring both the cost of the drain-based
+design and the remaining headroom a modulo scheduler would chase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import CellConfig
+from ..ir.dag import OpKind
+from .emit import CellCode, ScheduledBlock, ScheduledItem, ScheduledLoop
+
+
+@dataclass(frozen=True)
+class LoopPipelineStats:
+    """Initiation-interval facts for one innermost loop."""
+
+    loop_id: int
+    trip: int
+    achieved_interval: int  # cycles per iteration under the drain design
+    resource_min_interval: int  # ResMII
+    #: Resource usage per iteration: name -> issue slots used.
+    usage: dict
+
+    @property
+    def headroom(self) -> float:
+        """achieved / ResMII — 1.0 means resource-optimal."""
+        return self.achieved_interval / max(self.resource_min_interval, 1)
+
+    @property
+    def bottleneck(self) -> str:
+        """The resource that sets the ResMII."""
+        best = max(
+            self.usage.items(),
+            key=lambda item: item[1][0] / item[1][1],
+            default=("none", (0, 1)),
+        )
+        return best[0]
+
+
+def _block_usage(block: ScheduledBlock) -> dict:
+    """Issue-slot demand of one block: resource -> (uses, capacity)."""
+    usage: dict[str, int] = {}
+    for instr in block.instructions:
+        if instr.alu:
+            usage["alu"] = usage.get("alu", 0) + 1
+        if instr.mpy:
+            usage["mpy"] = usage.get("mpy", 0) + 1
+        if instr.mem:
+            usage["mem"] = usage.get("mem", 0) + len(instr.mem)
+        for deq in instr.deqs:
+            key = f"deq:{deq.queue}"
+            usage[key] = usage.get(key, 0) + 1
+        for enq in instr.enqs:
+            key = f"enq:{enq.queue}"
+            usage[key] = usage.get(key, 0) + 1
+        if instr.move:
+            usage["move"] = usage.get("move", 0) + 1
+    return usage
+
+
+def _capacity(resource: str, config: CellConfig) -> int:
+    if resource == "mem":
+        return config.mem_ports
+    if resource == "move":
+        return config.move_ports
+    return 1
+
+
+def resource_min_interval(
+    blocks: list[ScheduledBlock], config: CellConfig
+) -> tuple[int, dict]:
+    """ResMII of a loop body: ceil(uses / capacity), maximised over
+    resources."""
+    usage: dict[str, int] = {}
+    for block in blocks:
+        for resource, uses in _block_usage(block).items():
+            usage[resource] = usage.get(resource, 0) + uses
+    annotated = {
+        resource: (uses, _capacity(resource, config))
+        for resource, uses in usage.items()
+    }
+    interval = 1
+    for resource, (uses, capacity) in annotated.items():
+        interval = max(interval, math.ceil(uses / capacity))
+    return interval, annotated
+
+
+def _innermost_loops(items: list[ScheduledItem]):
+    for item in items:
+        if isinstance(item, ScheduledLoop):
+            if any(isinstance(child, ScheduledLoop) for child in item.body):
+                yield from _innermost_loops(item.body)
+            else:
+                yield item
+
+
+def pipelining_report(code: CellCode) -> list[LoopPipelineStats]:
+    """Achieved iteration length vs ResMII for every innermost loop."""
+    stats = []
+    for loop in _innermost_loops(code.items):
+        blocks = [b for b in loop.body if isinstance(b, ScheduledBlock)]
+        achieved = sum(b.length for b in blocks)
+        interval, usage = resource_min_interval(blocks, code.config)
+        stats.append(
+            LoopPipelineStats(
+                loop_id=loop.loop_id,
+                trip=loop.trip,
+                achieved_interval=achieved,
+                resource_min_interval=interval,
+                usage=usage,
+            )
+        )
+    return stats

@@ -1,0 +1,210 @@
+"""Command-line interface to the Warp compiler and simulator.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro compile  program.w2        # metrics + listings
+    python -m repro run      program.w2 --input a=in.npy --output out.npz
+    python -m repro timing   program.w2        # skew / buffer report
+    python -m repro examples                   # list bundled programs
+    python -m repro emit     polynomial        # print a bundled program
+
+Inputs accept ``name=file.npy``, ``name=file.txt`` (whitespace floats)
+or ``name=1.0,2.0,3.0`` inline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import programs
+from .cellcodegen.listing import format_cell_code
+from .compiler import (
+    compile_w2,
+    decomposition_report,
+    format_metrics_table,
+    format_performance,
+    predict_performance,
+)
+from .lang import Channel
+from .machine import simulate
+from .machine.trace import format_two_cell_trace
+
+_BUNDLED = {
+    "polynomial": programs.polynomial,
+    "conv1d": programs.conv1d,
+    "binop": programs.binop,
+    "colorseg": programs.colorseg,
+    "mandelbrot": programs.mandelbrot,
+    "matmul": programs.matmul,
+    "conv2d": programs.conv2d,
+    "firbank": programs.fir_bank,
+    "passthrough": programs.passthrough,
+}
+
+
+def _load_source(spec: str) -> str:
+    """A file path, or the name of a bundled program."""
+    path = Path(spec)
+    if path.exists():
+        return path.read_text()
+    factory = _BUNDLED.get(spec)
+    if factory is None:
+        raise SystemExit(
+            f"error: {spec!r} is neither a file nor a bundled program "
+            f"(bundled: {', '.join(sorted(_BUNDLED))})"
+        )
+    return factory()
+
+
+def _parse_input(spec: str) -> tuple[str, np.ndarray]:
+    if "=" not in spec:
+        raise SystemExit(f"error: input {spec!r} must look like name=value")
+    name, value = spec.split("=", 1)
+    path = Path(value)
+    if path.suffix == ".npy" and path.exists():
+        return name, np.load(path)
+    if path.exists():
+        return name, np.loadtxt(path).ravel()
+    try:
+        return name, np.asarray(
+            [float(v) for v in value.split(",") if v], dtype=np.float64
+        )
+    except ValueError:
+        raise SystemExit(f"error: cannot parse input {spec!r}") from None
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    program = compile_w2(_load_source(args.program), unroll=args.unroll)
+    print(format_metrics_table([program.metrics]))
+    report = decomposition_report(program)
+    print(
+        f"\ndecomposition: {report.cell_instructions} cell instrs, "
+        f"{report.iu_instructions} IU instrs, "
+        f"{report.iu_supplied_addresses} IU addresses, "
+        f"{report.host_inputs} host inputs, {report.host_outputs} outputs"
+    )
+    print("\npredicted performance:")
+    for line in format_performance(predict_performance(program)).splitlines():
+        print(f"    {line}")
+    if args.listing:
+        print("\n" + format_cell_code(program.cell_code))
+    return 0
+
+
+def cmd_timing(args: argparse.Namespace) -> int:
+    program = compile_w2(_load_source(args.program), unroll=args.unroll)
+    print(f"inter-cell skew: {program.skew.skew} cycles")
+    for entry in program.skew.channels:
+        print(
+            f"    channel {entry.channel}: {entry.n_sends} sends / "
+            f"{entry.n_receives} receives per cell, skew {entry.skew} "
+            f"({entry.method})"
+        )
+    for requirement in program.buffers:
+        print(
+            f"    queue {requirement.channel}: needs {requirement.required} "
+            f"of {program.config.queue_depth} words"
+        )
+    print(
+        f"one cell runs {program.cell_code.total_cycles} cycles; the "
+        f"{program.n_cells}-cell array finishes at cycle "
+        f"{program.cell_code.total_cycles + program.skew.skew * (program.n_cells - 1)}"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = compile_w2(_load_source(args.program), unroll=args.unroll)
+    inputs = dict(_parse_input(spec) for spec in args.input or [])
+    result = simulate(program, inputs, trace_limit=args.trace)
+    print(
+        f"ran {program.module_name!r} on {program.n_cells} cells: "
+        f"{result.total_cycles} cycles, skew {result.skew}"
+    )
+    for name, data in result.outputs.items():
+        preview = np.array2string(data[:8], precision=5)
+        print(f"    {name}[{data.size}] = {preview}{'...' if data.size > 8 else ''}")
+    if args.trace:
+        print("\n" + format_two_cell_trace(result.trace))
+    if args.output:
+        np.savez(args.output, **result.outputs)
+        print(f"outputs written to {args.output}")
+    return 0
+
+
+def cmd_examples(_args: argparse.Namespace) -> int:
+    for name, factory in sorted(_BUNDLED.items()):
+        doc = (factory.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<12} {doc}")
+    return 0
+
+
+def cmd_emit(args: argparse.Namespace) -> int:
+    factory = _BUNDLED.get(args.name)
+    if factory is None:
+        raise SystemExit(f"error: unknown bundled program {args.name!r}")
+    print(factory())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Warp / W2 compiler and simulator "
+        "(Gross & Lam, PLDI 1986 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser("compile", help="compile a W2 module")
+    compile_p.add_argument("program", help="W2 file or bundled program name")
+    compile_p.add_argument("--unroll", type=int, default=1)
+    compile_p.add_argument(
+        "--listing", action="store_true", help="print the cell microcode"
+    )
+    compile_p.set_defaults(func=cmd_compile)
+
+    timing_p = sub.add_parser("timing", help="skew and buffer analysis")
+    timing_p.add_argument("program")
+    timing_p.add_argument("--unroll", type=int, default=1)
+    timing_p.set_defaults(func=cmd_timing)
+
+    run_p = sub.add_parser("run", help="compile and simulate")
+    run_p.add_argument("program")
+    run_p.add_argument("--unroll", type=int, default=1)
+    run_p.add_argument(
+        "--input",
+        action="append",
+        metavar="NAME=VALUES",
+        help="input array: name=file.npy | name=file.txt | name=1,2,3",
+    )
+    run_p.add_argument("--output", help="write outputs to an .npz file")
+    run_p.add_argument(
+        "--trace", type=int, default=0, metavar="N",
+        help="record and print the first N I/O events per cell",
+    )
+    run_p.set_defaults(func=cmd_run)
+
+    examples_p = sub.add_parser("examples", help="list bundled programs")
+    examples_p.set_defaults(func=cmd_examples)
+
+    emit_p = sub.add_parser("emit", help="print a bundled program's W2 source")
+    emit_p.add_argument("name")
+    emit_p.set_defaults(func=cmd_emit)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro compile ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The Warp compiler driver and reports."""
+
+from .driver import CompiledProgram, CompileMetrics, compile_w2
+from .mirror import mirror_module
+from .performance import (
+    PerformancePrediction,
+    format_performance,
+    predict_performance,
+)
+from .report import DecompositionReport, decomposition_report, format_metrics_table
+
+__all__ = [
+    "CompileMetrics",
+    "CompiledProgram",
+    "DecompositionReport",
+    "PerformancePrediction",
+    "compile_w2",
+    "decomposition_report",
+    "format_metrics_table",
+    "format_performance",
+    "mirror_module",
+    "predict_performance",
+]

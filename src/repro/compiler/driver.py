@@ -1,0 +1,246 @@
+"""The Warp compiler driver (Section 6.1, Figure 6-1).
+
+Phase order follows the paper: flow analysis builds the shared program
+representation; the computation is decomposed between the Warp array,
+the IU and the host; "code is generated for the Warp cells first", the
+resulting scheduling constraints (address deadlines, loop structure)
+drive IU code generation, and the IU/cell structure drives host code
+generation.  Compile-time synchronisation (minimum skew, queue sizes) is
+verified on the finished cell schedule.
+
+Public entry point: :func:`compile_w2`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis import (
+    CommReport,
+    analyze_communication,
+    eliminate_dead_writes,
+)
+from ..cellcodegen import CellCode, generate_cell_code
+from ..errors import CompilationError, MappingError, RegisterPressureError
+from ..hostcodegen import HostProgram, generate_host_program
+from ..ir import CellProgramIR, build_ir
+from ..ir.dag import OpKind
+from ..iucodegen import IUProgram, generate_iu_code
+from ..lang import AnalyzedModule, analyze, count_w2_lines, parse_module
+from ..config import DEFAULT_CONFIG, WarpConfig
+from .mirror import mirror_module
+from ..timing import (
+    BufferRequirement,
+    SkewResult,
+    check_buffers,
+    compute_skew,
+)
+
+
+@dataclass(frozen=True)
+class CompileMetrics:
+    """The Table 7-1 metrics plus a few internals."""
+
+    module_name: str
+    w2_lines: int
+    cell_ucode: int
+    iu_ucode: int
+    compile_seconds: float
+    skew: int
+    cell_cycles: int
+    n_cells: int
+    max_live_registers: int
+    iu_registers: int
+    table_entries: int
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the Warp machine (simulator) needs to run a module."""
+
+    source: str
+    ir: CellProgramIR
+    cell_code: CellCode
+    iu_program: IUProgram
+    host_program: HostProgram
+    skew: SkewResult
+    buffers: list[BufferRequirement]
+    comm: CommReport
+    config: WarpConfig
+    metrics: CompileMetrics
+    #: True when the program's data flow was right-to-left and the
+    #: compiler mirrored it onto the canonical direction (the array is
+    #: symmetric; cell 0 then denotes the physically-rightmost cell).
+    mirrored: bool = False
+
+    @property
+    def module_name(self) -> str:
+        return self.ir.module_name
+
+    @property
+    def n_cells(self) -> int:
+        return self.ir.n_cells
+
+
+def _scalar_use_counts(ir: CellProgramIR) -> dict[str, int]:
+    counts = {name: 0 for name in ir.scalars}
+    for block in ir.tree.blocks():
+        for node in block.dag.nodes.values():
+            if node.op in (OpKind.READ, OpKind.WRITE) and node.attr in counts:
+                counts[node.attr] += 1  # type: ignore[index]
+    return counts
+
+
+def compile_w2(
+    source: str,
+    config: WarpConfig = DEFAULT_CONFIG,
+    skew_method: str = "auto",
+    unroll: int | str = 1,
+    local_opt: bool = True,
+) -> CompiledProgram:
+    """Compile a W2 module for the Warp machine.
+
+    Raises :class:`~repro.lang.errors.W2Error` for front-end problems and
+    :class:`~repro.errors.CompilationError` subclasses for back-end ones
+    (unmappable communication, register pressure, memory/table overflow,
+    queue overflow).
+
+    ``unroll`` unrolls innermost loops up to that factor before
+    scheduling, amortising block-drain cycles over several iterations
+    (throughput optimisation; 1 = off).  ``unroll="auto"`` tries
+    1/2/4/8 and keeps the fastest predicted schedule.
+    """
+    started = time.perf_counter()
+    module = parse_module(source)
+    analyzed = analyze(module)
+    if unroll == "auto":
+        unroll = _choose_unroll_factor(analyzed, config)
+    del_local = not local_opt
+
+    ir, cell_code = _generate_with_demotion(
+        analyzed, config, unroll, local_opt=not del_local
+    )
+
+    comm = analyze_communication(ir.tree)
+    mirrored = False
+    if (
+        ir.n_cells > 1
+        and comm.is_mappable
+        and not comm.is_unidirectional_lr
+        and comm.is_unidirectional_rl
+    ):
+        # Right-to-left flow: run the mirror image on the reversed array.
+        analyzed = analyze(mirror_module(module))
+        ir, cell_code = _generate_with_demotion(
+            analyzed, config, unroll, local_opt=not del_local
+        )
+        comm = analyze_communication(ir.tree)
+        mirrored = True
+    _check_mappability(comm, ir)
+    if ir.n_cells > config.n_cells:
+        raise MappingError(
+            f"module uses {ir.n_cells} cells but the machine has "
+            f"{config.n_cells}"
+        )
+
+    skew = compute_skew(cell_code, method=skew_method, n_cells=ir.n_cells)
+    if ir.n_cells > 1:
+        buffers = check_buffers(cell_code, skew.skew, config.queue_depth)
+    else:
+        buffers = []
+    iu_program = generate_iu_code(cell_code, config.iu)
+    host_program = generate_host_program(cell_code, ir.io_statements)
+
+    elapsed = time.perf_counter() - started
+    metrics = CompileMetrics(
+        module_name=ir.module_name,
+        w2_lines=count_w2_lines(source),
+        cell_ucode=cell_code.n_instructions,
+        iu_ucode=iu_program.n_instructions,
+        compile_seconds=elapsed,
+        skew=skew.skew,
+        cell_cycles=cell_code.total_cycles,
+        n_cells=ir.n_cells,
+        max_live_registers=cell_code.max_live_registers,
+        iu_registers=iu_program.n_registers_used,
+        table_entries=iu_program.table_entries,
+    )
+    return CompiledProgram(
+        source=source,
+        ir=ir,
+        cell_code=cell_code,
+        iu_program=iu_program,
+        host_program=host_program,
+        skew=skew,
+        buffers=buffers,
+        comm=comm,
+        config=config,
+        metrics=metrics,
+        mirrored=mirrored,
+    )
+
+
+def _choose_unroll_factor(analyzed: AnalyzedModule, config: WarpConfig) -> int:
+    """Pick the unroll factor with the fastest predicted cell program
+    (schedules are static, so prediction is exact)."""
+    best_factor, best_cycles = 1, None
+    for factor in (1, 2, 4, 8):
+        try:
+            _ir, code = _generate_with_demotion(analyzed, config, factor)
+        except CompilationError:
+            continue
+        cycles = code.total_cycles
+        if best_cycles is None or cycles < best_cycles:
+            best_factor, best_cycles = factor, cycles
+    return best_factor
+
+
+def _generate_with_demotion(
+    analyzed: AnalyzedModule,
+    config: WarpConfig,
+    unroll: int = 1,
+    local_opt: bool = True,
+) -> tuple[CellProgramIR, CellCode]:
+    """Build IR and cell code, demoting cold scalars to memory when the
+    register files cannot hold them all."""
+    memory_scalars: frozenset[str] = frozenset()
+    last_error: RegisterPressureError | None = None
+    for _attempt in range(64):
+        ir = build_ir(
+            analyzed,
+            memory_scalars,
+            unroll_factor=unroll,
+            enable_local_opt=local_opt,
+        )
+        eliminate_dead_writes(ir.tree)
+        try:
+            return ir, generate_cell_code(ir, config.cell)
+        except RegisterPressureError as error:
+            last_error = error
+            counts = _scalar_use_counts(ir)
+            candidates = [
+                name
+                for name in sorted(counts, key=lambda n: counts[n])
+                if name not in memory_scalars and name not in ir.branch_assigned
+            ]
+            if not candidates:
+                raise
+            memory_scalars = memory_scalars | frozenset(candidates[:4])
+    assert last_error is not None
+    raise last_error
+
+
+def _check_mappability(comm: CommReport, ir: CellProgramIR) -> None:
+    if not comm.is_mappable:
+        raise MappingError(
+            "program has both left and right communication cycles and "
+            "cannot be mapped onto the skewed computation model "
+            "(Section 5.1.1)"
+        )
+    if ir.n_cells > 1 and not comm.is_unidirectional_lr:
+        raise MappingError(
+            "only unidirectional left-to-right programs are supported "
+            "(receive from L, send to R); the paper's compiler has the "
+            "same restriction (Section 5.1.1)"
+        )

@@ -1,0 +1,62 @@
+"""Mirroring right-to-left programs onto the canonical array direction.
+
+The Warp array is symmetric: a program whose data flows right-to-left
+(receives from ``R``, sends to ``L``) is the mirror image of a canonical
+left-to-right program running on the reversed array.  The compiler
+handles such programs by flipping every channel direction in the AST and
+recording the fact; results are identical because externals (host
+bindings) are untouched — only which physical end of the array plays
+"first cell" changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..lang import ast
+
+
+def mirror_module(module: ast.Module) -> ast.Module:
+    """Swap L and R in every send/receive of the module."""
+    cellprogram = module.cellprogram
+    mirrored = dataclasses.replace(
+        cellprogram,
+        functions=tuple(
+            dataclasses.replace(
+                function, body=_mirror_stmt(function.body)
+            )
+            for function in cellprogram.functions
+        ),
+        body=tuple(_mirror_stmt(stmt) for stmt in cellprogram.body),
+    )
+    return dataclasses.replace(module, cellprogram=mirrored)
+
+
+def _flip(direction: ast.Direction) -> ast.Direction:
+    if direction is ast.Direction.LEFT:
+        return ast.Direction.RIGHT
+    return ast.Direction.LEFT
+
+
+def _mirror_stmt(stmt: ast.Stmt) -> ast.Stmt:
+    if isinstance(stmt, ast.Compound):
+        return dataclasses.replace(
+            stmt, statements=tuple(_mirror_stmt(s) for s in stmt.statements)
+        )
+    if isinstance(stmt, ast.Receive):
+        return dataclasses.replace(stmt, direction=_flip(stmt.direction))
+    if isinstance(stmt, ast.Send):
+        return dataclasses.replace(stmt, direction=_flip(stmt.direction))
+    if isinstance(stmt, ast.If):
+        return dataclasses.replace(
+            stmt,
+            then_body=_mirror_stmt(stmt.then_body),
+            else_body=(
+                _mirror_stmt(stmt.else_body)
+                if stmt.else_body is not None
+                else None
+            ),
+        )
+    if isinstance(stmt, ast.For):
+        return dataclasses.replace(stmt, body=_mirror_stmt(stmt.body))
+    return stmt

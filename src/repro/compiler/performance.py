@@ -1,0 +1,112 @@
+"""Static performance prediction.
+
+Because schedules are fully static (constant-trip loops, fixed block
+lengths, compile-time skew), a compiled program's run time and operation
+counts are *computable at compile time* — the simulator must then agree
+exactly.  This module produces that prediction; a test asserts
+prediction == observation for every program, which is itself a strong
+check on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cellcodegen.emit import CellCode, ScheduledBlock, ScheduledItem, ScheduledLoop
+from .driver import CompiledProgram
+
+
+@dataclass(frozen=True)
+class PerformancePrediction:
+    """Compile-time prediction of one run."""
+
+    n_cells: int
+    skew: int
+    cycles_per_cell: int
+    total_cycles: int
+    #: Dynamic operation counts per cell.
+    alu_ops: int
+    mpy_ops: int
+    mem_reads: int
+    mem_writes: int
+    receives: int
+    sends: int
+
+    @property
+    def fp_ops_per_cell(self) -> int:
+        return self.alu_ops + self.mpy_ops
+
+    @property
+    def array_fp_ops(self) -> int:
+        return self.fp_ops_per_cell * self.n_cells
+
+    @property
+    def fp_ops_per_cycle(self) -> float:
+        """Aggregate arithmetic rate of the whole array."""
+        return self.array_fp_ops / max(self.total_cycles, 1)
+
+    @property
+    def peak_fraction(self) -> float:
+        """Fraction of the machine's peak (2 FP issues/cycle/cell)."""
+        return self.fp_ops_per_cycle / (2 * self.n_cells)
+
+
+def _count_block(block: ScheduledBlock) -> dict:
+    counts = {"alu": 0, "mpy": 0, "reads": 0, "writes": 0, "recv": 0, "send": 0}
+    for instr in block.instructions:
+        if instr.alu:
+            counts["alu"] += 1
+        if instr.mpy:
+            counts["mpy"] += 1
+        for mem in instr.mem:
+            if mem.is_load:
+                counts["reads"] += 1
+            else:
+                counts["writes"] += 1
+        counts["recv"] += len(instr.deqs)
+        counts["send"] += len(instr.enqs)
+    return counts
+
+
+def _accumulate(items: list[ScheduledItem], multiplier: int, totals: dict) -> None:
+    for item in items:
+        if isinstance(item, ScheduledBlock):
+            counts = _count_block(item)
+            for key, value in counts.items():
+                totals[key] += value * multiplier
+        else:
+            assert isinstance(item, ScheduledLoop)
+            _accumulate(item.body, multiplier * item.trip, totals)
+
+
+def predict_performance(program: CompiledProgram) -> PerformancePrediction:
+    """Compute the run-time facts of one execution at compile time."""
+    code: CellCode = program.cell_code
+    totals = {"alu": 0, "mpy": 0, "reads": 0, "writes": 0, "recv": 0, "send": 0}
+    _accumulate(code.items, 1, totals)
+    cycles = code.total_cycles
+    return PerformancePrediction(
+        n_cells=program.n_cells,
+        skew=program.skew.skew,
+        cycles_per_cell=cycles,
+        total_cycles=cycles + program.skew.skew * (program.n_cells - 1),
+        alu_ops=totals["alu"],
+        mpy_ops=totals["mpy"],
+        mem_reads=totals["reads"],
+        mem_writes=totals["writes"],
+        receives=totals["recv"],
+        sends=totals["send"],
+    )
+
+
+def format_performance(prediction: PerformancePrediction) -> str:
+    lines = [
+        f"{prediction.n_cells} cells, skew {prediction.skew}: "
+        f"{prediction.total_cycles} cycles",
+        f"per cell: {prediction.alu_ops} ALU + {prediction.mpy_ops} MPY ops, "
+        f"{prediction.mem_reads}R/{prediction.mem_writes}W memory, "
+        f"{prediction.receives} receives / {prediction.sends} sends",
+        f"array rate: {prediction.fp_ops_per_cycle:.2f} FP ops/cycle "
+        f"({prediction.peak_fraction:.1%} of peak)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Errors raised by the compiler back end and the machine simulator.
+
+Front-end (lexical/syntactic/semantic) errors live in
+:mod:`repro.lang.errors`; everything after IR construction reports
+through the classes below.
+"""
+
+from __future__ import annotations
+
+
+class CompilationError(Exception):
+    """Base class for back-end compilation failures."""
+
+
+class MappingError(CompilationError):
+    """The program cannot be mapped onto the skewed computation model
+    (e.g. bidirectional communication, Section 5.1.1)."""
+
+
+class RegisterPressureError(CompilationError):
+    """A schedule needs more live registers than the cell provides."""
+
+    def __init__(self, needed: int, available: int):
+        self.needed = needed
+        self.available = available
+        super().__init__(
+            f"schedule needs {needed} registers, only {available} available"
+        )
+
+
+class MemoryOverflowError(CompilationError):
+    """Cell data memory (4K words) exhausted by the program's arrays."""
+
+
+class QueueOverflowError(CompilationError):
+    """A channel queue would exceed its capacity.
+
+    Section 6.2.2: "The queue overflow problem is currently only detected
+    and reported."  We follow the paper: report, with the required size.
+    """
+
+    def __init__(self, channel: str, required: int, capacity: int):
+        self.channel = channel
+        self.required = required
+        self.capacity = capacity
+        super().__init__(
+            f"channel {channel} needs a queue of {required} words "
+            f"(capacity {capacity}); re-block the program or enlarge the "
+            "queues in WarpConfig"
+        )
+
+
+class IUDeadlineError(CompilationError):
+    """The IU cannot produce an address by its deadline even via the
+    table-memory escape (Section 6.3.2)."""
+
+
+class TableOverflowError(CompilationError):
+    """The IU's 32K sequential table memory is exhausted."""
+
+
+class SimulationError(Exception):
+    """Base class for run-time failures detected by the simulator."""
+
+
+class QueueUnderflowError(SimulationError):
+    """A cell dequeued from an empty queue — the compiler's skew or the
+    IU schedule failed to guarantee data availability."""
+
+
+class QueueCapacityError(SimulationError):
+    """A queue exceeded its capacity at run time."""
+
+
+class HostDataError(SimulationError):
+    """The host feeder was asked for data it does not have."""

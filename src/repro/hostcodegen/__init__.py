@@ -1,0 +1,28 @@
+"""Host I/O processor code generation."""
+
+from .io_program import HostBinding, HostProgram, HostValueRef, generate_host_program
+from .lower import (
+    BlockTransfer,
+    HostTransferProgram,
+    LiteralRun,
+    Scatter,
+    compress_sequence,
+    lower_input_program,
+    lower_output_program,
+    transfer_statistics,
+)
+
+__all__ = [
+    "BlockTransfer",
+    "HostBinding",
+    "HostProgram",
+    "HostTransferProgram",
+    "HostValueRef",
+    "LiteralRun",
+    "Scatter",
+    "compress_sequence",
+    "generate_host_program",
+    "lower_input_program",
+    "lower_output_program",
+    "transfer_statistics",
+]

@@ -1,0 +1,194 @@
+"""Lowering host I/O sequences to transfer descriptors.
+
+"The I/O processors in the Warp host must be programmed to supply input
+in the exact sequence as the data is used in the Warp cells"
+(Section 2.2).  The item-by-item sequence of
+:class:`~repro.hostcodegen.io_program.HostProgram` is what must happen;
+real I/O processors are programmed with *block transfers* — (base,
+stride, count) descriptors — not per-word scripts.
+
+This module compresses each channel's sequence into descriptors:
+
+* ``BlockTransfer`` — ``count`` words from ``array`` starting at
+  ``base`` with constant ``stride`` (stride 0 = a repeated element);
+* ``LiteralRun`` — ``count`` copies of a literal (the IU synthesises
+  these);
+* ``Scatter`` — an irregular remainder kept as explicit indices.
+
+A round-trip check (descriptor expansion == original sequence) is part
+of the test suite, and :func:`transfer_statistics` feeds the
+decomposition report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from ..lang.ast import Channel
+from .io_program import HostProgram, HostValueRef
+
+
+@dataclass(frozen=True)
+class BlockTransfer:
+    """``count`` words of ``array`` from ``base`` stepping ``stride``."""
+
+    array: str
+    base: int
+    stride: int
+    count: int
+
+    def expand(self) -> Iterator[HostValueRef]:
+        for k in range(self.count):
+            yield HostValueRef(self.array, self.base + k * self.stride, None)
+
+
+@dataclass(frozen=True)
+class LiteralRun:
+    """``count`` copies of ``value``."""
+
+    value: float
+    count: int
+
+    def expand(self) -> Iterator[HostValueRef]:
+        for _ in range(self.count):
+            yield HostValueRef(None, None, self.value)
+
+
+@dataclass(frozen=True)
+class Scatter:
+    """An irregular access pattern kept explicit."""
+
+    array: str
+    indices: tuple[int, ...]
+
+    def expand(self) -> Iterator[HostValueRef]:
+        for index in self.indices:
+            yield HostValueRef(self.array, index, None)
+
+
+TransferOp = Union[BlockTransfer, LiteralRun, Scatter]
+
+
+@dataclass
+class HostTransferProgram:
+    """One channel's feed (or collection) as transfer descriptors."""
+
+    channel: Channel
+    ops: list[TransferOp] = field(default_factory=list)
+
+    @property
+    def total_words(self) -> int:
+        return sum(
+            op.count if not isinstance(op, Scatter) else len(op.indices)
+            for op in self.ops
+        )
+
+    def expand(self) -> Iterator[HostValueRef]:
+        for op in self.ops:
+            yield from op.expand()
+
+
+def _flush_run(
+    ops: list[TransferOp], array: str, indices: list[int]
+) -> None:
+    """Emit the longest-stride-run decomposition of ``indices``."""
+    start = 0
+    n = len(indices)
+    while start < n:
+        if start + 1 == n:
+            ops.append(BlockTransfer(array, indices[start], 0, 1))
+            start += 1
+            continue
+        stride = indices[start + 1] - indices[start]
+        end = start + 1
+        while end + 1 < n and indices[end + 1] - indices[end] == stride:
+            end += 1
+        count = end - start + 1
+        if count >= 2 or stride == 0:
+            ops.append(BlockTransfer(array, indices[start], stride, count))
+            start = end + 1
+        else:
+            ops.append(BlockTransfer(array, indices[start], 0, 1))
+            start += 1
+
+
+def compress_sequence(
+    channel: Channel, refs: list[HostValueRef]
+) -> HostTransferProgram:
+    """Compress an item sequence into transfer descriptors."""
+    program = HostTransferProgram(channel=channel)
+    pending_array: str | None = None
+    pending_indices: list[int] = []
+    pending_literal: float | None = None
+    literal_count = 0
+
+    def flush_array() -> None:
+        nonlocal pending_array, pending_indices
+        if pending_array is not None and pending_indices:
+            _flush_run(program.ops, pending_array, pending_indices)
+        pending_array = None
+        pending_indices = []
+
+    def flush_literal() -> None:
+        nonlocal pending_literal, literal_count
+        if literal_count:
+            program.ops.append(LiteralRun(pending_literal, literal_count))
+        pending_literal = None
+        literal_count = 0
+
+    for ref in refs:
+        if ref.is_literal:
+            flush_array()
+            if pending_literal is not None and ref.literal != pending_literal:
+                flush_literal()
+            pending_literal = ref.literal
+            literal_count += 1
+        else:
+            flush_literal()
+            if ref.array != pending_array:
+                flush_array()
+                pending_array = ref.array
+            pending_indices.append(ref.flat_index)
+    flush_array()
+    flush_literal()
+    return program
+
+
+def lower_input_program(
+    host: HostProgram, channel: Channel
+) -> HostTransferProgram:
+    """The feed of one channel as transfer descriptors."""
+    return compress_sequence(channel, list(host.input_sequence(channel)))
+
+
+def lower_output_program(
+    host: HostProgram, channel: Channel
+) -> HostTransferProgram:
+    """The collection of one channel as transfer descriptors (discards
+    become literal runs of 0.0 — the I/O processor still clocks them)."""
+    refs = [
+        HostValueRef(b.array, b.flat_index, None)
+        if not b.is_discard
+        else HostValueRef(None, None, 0.0)
+        for b in host.output_bindings(channel)
+    ]
+    return compress_sequence(channel, refs)
+
+
+@dataclass(frozen=True)
+class TransferStatistics:
+    """How compactly a channel's sequence was expressed."""
+
+    words: int
+    descriptors: int
+
+    @property
+    def compression(self) -> float:
+        return self.words / max(self.descriptors, 1)
+
+
+def transfer_statistics(program: HostTransferProgram) -> TransferStatistics:
+    return TransferStatistics(
+        words=program.total_words, descriptors=len(program.ops)
+    )

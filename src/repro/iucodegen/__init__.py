@@ -1,0 +1,44 @@
+"""Interface-unit code generation: strength-reduced address generation,
+deadline scheduling, table-memory fallback and loop signals (Section 6.3)."""
+
+from .allocation import (
+    AllocationPlan,
+    LoopInfo,
+    Strategy,
+    enumerate_allocation_options,
+    plan_allocation,
+)
+from .codegen import (
+    IUBlock,
+    IUEmission,
+    IULoop,
+    IUProgram,
+    generate_iu_code,
+)
+from .isa import IUOp, IUOpKind, IUReg
+from .lower import (
+    LoweredBlock,
+    LoweredIUProgram,
+    LoweredLoop,
+    lower_iu_program,
+)
+
+__all__ = [
+    "AllocationPlan",
+    "IUBlock",
+    "IUEmission",
+    "IULoop",
+    "IUOp",
+    "IUOpKind",
+    "IUProgram",
+    "IUReg",
+    "LoweredBlock",
+    "LoweredIUProgram",
+    "LoweredLoop",
+    "LoopInfo",
+    "Strategy",
+    "enumerate_allocation_options",
+    "generate_iu_code",
+    "lower_iu_program",
+    "plan_allocation",
+]

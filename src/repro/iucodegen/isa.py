@@ -1,0 +1,63 @@
+"""The interface unit's instruction set (Section 6.3).
+
+The IU generates addresses and loop-control signals for the whole array.
+Its datapath is deliberately modest: 16 registers, addition/subtraction
+only (no multiplier — strength reduction is mandatory), no data memory,
+and a 32K-word *table memory* readable strictly in sequential order as
+an escape hatch for addresses it cannot compute in time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class IUReg:
+    index: int
+
+    def __str__(self) -> str:
+        return f"i{self.index}"
+
+
+class IUOpKind(enum.Enum):
+    SETI = "seti"          # reg := immediate
+    ADDI = "addi"          # reg := reg + immediate  (subtract = negative)
+    ADD = "add"            # reg := reg + reg
+    SUB = "sub"            # reg := reg - reg
+    EMIT = "emit"          # push reg onto the address path
+    EMIT_TABLE = "emit_table"  # pop table memory, push onto address path
+    LOOP_INIT = "loop_init"    # initialise a loop counter
+    LOOP_TEST = "loop_test"    # update/test counter, send loop signal
+
+
+@dataclass(frozen=True)
+class IUOp:
+    kind: IUOpKind
+    dest: IUReg | None = None
+    src1: IUReg | None = None
+    src2: IUReg | None = None
+    immediate: int | None = None
+    #: Local cycle within the enclosing block window (may be negative:
+    #: the IU runs ahead and may borrow tail cycles of the previous
+    #: window; see DESIGN.md).
+    cycle: int = 0
+
+    def __str__(self) -> str:
+        if self.kind is IUOpKind.SETI:
+            return f"{self.dest} := {self.immediate}"
+        if self.kind is IUOpKind.ADDI:
+            return f"{self.dest} := {self.src1} + {self.immediate}"
+        if self.kind is IUOpKind.ADD:
+            return f"{self.dest} := {self.src1} + {self.src2}"
+        if self.kind is IUOpKind.SUB:
+            return f"{self.dest} := {self.src1} - {self.src2}"
+        if self.kind is IUOpKind.EMIT:
+            return f"emit {self.src1}"
+        if self.kind is IUOpKind.EMIT_TABLE:
+            return "emit table[next]"
+        if self.kind is IUOpKind.LOOP_INIT:
+            return f"loop_init {self.immediate}"
+        return "loop_test"

@@ -1,0 +1,283 @@
+"""Lowering the IU plan to concrete register-machine instructions.
+
+:mod:`repro.iucodegen.codegen` plans *what* the IU computes (induction
+registers, updates, emission cycles, table residency); this module makes
+that plan executable on the IU's actual instruction set
+(:mod:`repro.iucodegen.isa`): 16 physical registers, add/subtract only,
+a sequential table memory, and loop counters.
+
+The lowered program is what :class:`repro.machine.iu_machine.IUMachine`
+executes; a test asserts its address stream is identical to the plan's
+direct affine evaluation, closing the loop on strength reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..errors import IUDeadlineError
+from .codegen import IUBlock, IULoop, IUProgram
+from .isa import IUOp, IUOpKind, IUReg
+
+
+@dataclass
+class LoweredBlock:
+    """Straight-line IU code aligned with one cell block window."""
+
+    block_id: int
+    length: int
+    ops: list[IUOp] = field(default_factory=list)
+
+
+@dataclass
+class LoweredLoop:
+    loop_id: int
+    trip: int
+    #: Ops executed at the end of every iteration (register updates and
+    #: the counter test).
+    boundary_ops: list[IUOp] = field(default_factory=list)
+    #: Ops executed once when the loop exits (wrap adjustments).
+    exit_ops: list[IUOp] = field(default_factory=list)
+    body: list["LoweredItem"] = field(default_factory=list)
+    unrolled_tail: int = 0
+
+
+LoweredItem = Union[LoweredBlock, LoweredLoop]
+
+
+@dataclass
+class LoweredIUProgram:
+    """Executable IU code: a prologue plus the block/loop tree."""
+
+    prologue: list[IUOp]
+    items: list[LoweredItem]
+    #: Pre-computed table memory contents, in the sequential order the
+    #: EMIT_TABLE instructions consume them.
+    table: list[int]
+    register_names: dict[str, IUReg]
+    scratch: list[IUReg]
+
+    @property
+    def n_static_ops(self) -> int:
+        total = len(self.prologue)
+
+        def count(items: list[LoweredItem]) -> int:
+            subtotal = 0
+            for item in items:
+                if isinstance(item, LoweredBlock):
+                    subtotal += len(item.ops)
+                else:
+                    body = count(item.body)
+                    subtotal += (
+                        body
+                        + len(item.boundary_ops)
+                        + len(item.exit_ops)
+                        + item.unrolled_tail * body
+                    )
+            return subtotal
+
+        return total + count(self.items)
+
+
+class IULowerer:
+    def __init__(self, program: IUProgram, n_registers: int = 16):
+        self._program = program
+        self._plan = program.plan
+        self._n_registers = n_registers
+        self._registers: dict[str, IUReg] = {}
+        self._scratch: list[IUReg] = []
+
+    def lower(self) -> LoweredIUProgram:
+        self._assign_registers()
+        prologue = self._build_prologue()
+        items = [self._lower_item(item) for item in self._program.items]
+        table = self._build_table()
+        return LoweredIUProgram(
+            prologue=prologue,
+            items=items,
+            table=table,
+            register_names=dict(self._registers),
+            scratch=list(self._scratch),
+        )
+
+    # Registers ------------------------------------------------------------
+
+    def _assign_registers(self) -> None:
+        next_index = 0
+        live_names = set(self._plan.registers)
+        # Table-resident expressions need no register; exclude registers
+        # used only by them.
+        needed: set[str] = set()
+        for index, _expr in enumerate(self._plan.expressions):
+            if index in self._program.table_expressions:
+                continue
+            names, _const = self._plan.compositions[index]
+            needed.update(names)
+        for name in self._plan.registers:
+            if name not in needed and name in live_names:
+                continue
+            self._registers[name] = IUReg(next_index)
+            next_index += 1
+        # Scratch is only needed when a non-table emission composes its
+        # address from several registers or adds a constant.
+        scratch_needed = any(
+            len(self._plan.compositions[i][0]) > 1
+            or self._plan.compositions[i][1] != 0
+            for i in range(len(self._plan.expressions))
+            if i not in self._program.table_expressions
+        )
+        if scratch_needed:
+            self._scratch.append(IUReg(next_index))
+            next_index += 1
+        if next_index > self._n_registers:
+            raise IUDeadlineError(
+                f"lowered IU program needs {next_index} registers, "
+                f"hardware has {self._n_registers}"
+            )
+
+    def _loop_start_values(self) -> dict[str, int]:
+        starts: dict[str, int] = {}
+
+        def walk(items) -> None:
+            for item in items:
+                if isinstance(item, IULoop):
+                    starts[item.var] = item.start
+                    walk(item.body)
+
+        walk(self._program.items)
+        return starts
+
+    def _build_prologue(self) -> list[IUOp]:
+        starts = self._loop_start_values()
+        ops: list[IUOp] = []
+        for name, reg in self._registers.items():
+            sub_expression = self._plan.registers[name]
+            value = sub_expression.evaluate(
+                {var: starts.get(var, 0) for var in sub_expression.variables}
+            )
+            ops.append(IUOp(IUOpKind.SETI, dest=reg, immediate=value))
+        return ops
+
+    # Tree ------------------------------------------------------------------
+
+    def _lower_item(self, item) -> LoweredItem:
+        if isinstance(item, IUBlock):
+            return self._lower_block(item)
+        assert isinstance(item, IULoop)
+        boundary = [
+            IUOp(
+                IUOpKind.ADDI,
+                dest=self._registers[name],
+                src1=self._registers[name],
+                immediate=delta,
+            )
+            for name, delta in item.boundary_updates
+            if name in self._registers
+        ]
+        boundary.append(IUOp(IUOpKind.LOOP_TEST))
+        exit_ops = [
+            IUOp(
+                IUOpKind.ADDI,
+                dest=self._registers[name],
+                src1=self._registers[name],
+                immediate=delta,
+            )
+            for name, delta in item.exit_updates
+            if name in self._registers
+        ]
+        return LoweredLoop(
+            loop_id=item.loop_id,
+            trip=item.trip,
+            boundary_ops=boundary,
+            exit_ops=exit_ops,
+            body=[self._lower_item(child) for child in item.body],
+            unrolled_tail=item.unrolled_tail,
+        )
+
+    def _lower_block(self, block: IUBlock) -> LoweredBlock:
+        ops: list[IUOp] = []
+        for emission in block.emissions:
+            if emission.from_table:
+                ops.append(IUOp(IUOpKind.EMIT_TABLE, cycle=emission.cycle))
+                continue
+            names, constant = self._plan.compositions[emission.expr_index]
+            regs = [self._registers[name] for name in names]
+            if len(regs) == 1 and constant == 0:
+                ops.append(
+                    IUOp(IUOpKind.EMIT, src1=regs[0], cycle=emission.cycle)
+                )
+                continue
+            # Compose into a scratch register: accumulate sums, then the
+            # constant, then emit.
+            scratch = self._scratch[0]
+            cycle = emission.cycle - len(regs)  # adds complete before emit
+            first = True
+            for reg in regs:
+                if first:
+                    ops.append(
+                        IUOp(
+                            IUOpKind.ADDI,
+                            dest=scratch,
+                            src1=reg,
+                            immediate=0,
+                            cycle=cycle,
+                        )
+                    )
+                    first = False
+                else:
+                    ops.append(
+                        IUOp(
+                            IUOpKind.ADD,
+                            dest=scratch,
+                            src1=scratch,
+                            src2=reg,
+                            cycle=cycle,
+                        )
+                    )
+                cycle += 1
+            if constant:
+                ops.append(
+                    IUOp(
+                        IUOpKind.ADDI,
+                        dest=scratch,
+                        src1=scratch,
+                        immediate=constant,
+                        cycle=cycle,
+                    )
+                )
+            ops.append(IUOp(IUOpKind.EMIT, src1=scratch, cycle=emission.cycle))
+        return LoweredBlock(block_id=block.block_id, length=block.length, ops=ops)
+
+    # Table ------------------------------------------------------------------
+
+    def _build_table(self) -> list[int]:
+        """Table contents in consumption order: for every dynamic
+        emission of a table-resident expression, its address."""
+        if not self._program.table_expressions:
+            return []
+        table: list[int] = []
+        env: dict[str, int] = {}
+
+        def walk(items) -> None:
+            for item in items:
+                if isinstance(item, IUBlock):
+                    for emission in item.emissions:
+                        if emission.expr_index in self._program.table_expressions:
+                            expr = self._plan.expressions[emission.expr_index]
+                            table.append(expr.evaluate(env))
+                else:
+                    for i in range(item.trip):
+                        env[item.var] = item.start + i * item.step
+                        walk(item.body)
+                    env.pop(item.var, None)
+
+        walk(self._program.items)
+        return table
+
+
+def lower_iu_program(
+    program: IUProgram, n_registers: int = 16
+) -> LoweredIUProgram:
+    """Lower a planned IU program to executable register-machine code."""
+    return IULowerer(program, n_registers).lower()

@@ -1,0 +1,296 @@
+"""Abstract syntax tree for W2 programs.
+
+The shape follows the sample program of Figure 4-1 of the paper: a module
+header with typed I/O parameters, host-side declarations, and a
+``cellprogram`` block containing function declarations and statements
+(assignment, conditional, constant-bound ``for`` loops, ``call``, and the
+channel primitives ``send``/``receive``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import SourceLocation
+
+
+class Direction(enum.Enum):
+    """The neighbour a channel operation addresses.
+
+    ``receive (L, X, ...)`` receives from the *left* neighbour;
+    ``send (R, X, ...)`` sends to the *right* neighbour.
+    """
+
+    LEFT = "L"
+    RIGHT = "R"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Channel(enum.Enum):
+    """The two data paths connecting adjacent cells (Section 2.1)."""
+
+    X = "X"
+    Y = "Y"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ScalarType(enum.Enum):
+    """W2 scalar types; ``int`` is restricted to loop indices (Section 2.2:
+    Warp cells have no integer arithmetic — integer work lives on the IU)."""
+
+    FLOAT = "float"
+    INT = "int"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ParamDirection(enum.Enum):
+    """Whether a module parameter flows from the host (``in``) or to it."""
+
+    IN = "in"
+    OUT = "out"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expression nodes."""
+
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLiteral(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A reference to a scalar variable (or whole array in a declaration
+    context; semantic analysis rejects whole-array reads in expressions)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """An indexed array reference ``a[i, j+1]``."""
+
+    name: str
+    indices: tuple[Expr, ...]
+
+
+class BinaryOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "and"
+    OR = "or"
+
+
+class UnaryOp(enum.Enum):
+    NEG = "-"
+    NOT = "not"
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expr):
+    op: BinaryOp
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryExpr(Expr):
+    op: UnaryOp
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statement nodes."""
+
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: Expr  # VarRef or ArrayRef
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_body: Stmt
+    else_body: Stmt | None
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for i := lo to hi do stmt`` (or ``downto``).
+
+    Bounds must be compile-time constants for the program to be compilable
+    (Section 5.1); the *parser* accepts arbitrary expressions and the
+    restriction check happens during semantic analysis.
+    """
+
+    var: str
+    start: Expr
+    stop: Expr
+    downto: bool
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Call(Stmt):
+    name: str
+
+
+@dataclass(frozen=True)
+class Receive(Stmt):
+    """``receive (dir, chan, internal_lvalue [, external_expr])``.
+
+    ``external`` names the host value consumed by the *first* cell of the
+    array; it is ignored on all other cells (Section 4.3).
+    """
+
+    direction: Direction
+    channel: Channel
+    target: Expr  # VarRef or ArrayRef
+    external: Expr | None
+
+
+@dataclass(frozen=True)
+class Send(Stmt):
+    """``send (dir, chan, internal_expr [, external_lvalue])``.
+
+    ``external`` names the host location written by the *last* cell.
+    """
+
+    direction: Direction
+    channel: Channel
+    value: Expr
+    external: Expr | None
+
+
+@dataclass(frozen=True)
+class Compound(Stmt):
+    """A ``begin ... end`` statement sequence."""
+
+    statements: tuple[Stmt, ...]
+
+
+# ---------------------------------------------------------------------------
+# Declarations and top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """One declared name with an optional array shape (empty = scalar)."""
+
+    name: str
+    scalar_type: ScalarType
+    dimensions: tuple[int, ...]
+    location: SourceLocation
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dimensions)
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for dim in self.dimensions:
+            count *= dim
+        return count
+
+
+@dataclass(frozen=True)
+class Param:
+    """A module parameter: a host variable bound at call time."""
+
+    name: str
+    direction: ParamDirection
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    name: str
+    locals: tuple[VarDecl, ...]
+    body: Compound
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class CellProgram:
+    """``cellprogram (cid : first : last)`` — the code every cell runs."""
+
+    cell_var: str
+    first_cell: int
+    last_cell: int
+    functions: tuple[FunctionDecl, ...]
+    locals: tuple[VarDecl, ...]
+    body: tuple[Stmt, ...]
+    location: SourceLocation
+
+    @property
+    def n_cells(self) -> int:
+        return self.last_cell - self.first_cell + 1
+
+
+@dataclass(frozen=True)
+class Module:
+    """A complete W2 compilation unit."""
+
+    name: str
+    params: tuple[Param, ...]
+    host_decls: tuple[VarDecl, ...]
+    cellprogram: CellProgram
+    location: SourceLocation
+
+    def param(self, name: str) -> Param:
+        """Return the parameter called ``name`` (KeyError if absent)."""
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise KeyError(name)
+
+    def host_decl(self, name: str) -> VarDecl:
+        """Return the host declaration for ``name`` (KeyError if absent)."""
+        for decl in self.host_decls:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)

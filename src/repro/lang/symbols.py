@@ -1,0 +1,93 @@
+"""Symbol tables for W2 semantic analysis.
+
+W2 has three name spaces that matter to the compiler:
+
+* *host* names — module parameters (with their host-side declarations),
+  living in the host memory and only referenced by the ``external``
+  argument of ``send``/``receive``;
+* *cell* names — variables declared in the ``cellprogram`` or inside a
+  ``function``, living in cell memory / registers;
+* *loop indices* — ``int`` scalars bound by ``for`` statements; they never
+  exist on the cells at run time (the IU owns all integer arithmetic,
+  Section 2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .ast import ParamDirection, ScalarType
+from .errors import SemanticError, SourceLocation
+
+
+class SymbolKind(enum.Enum):
+    HOST_IN = "host input parameter"
+    HOST_OUT = "host output parameter"
+    CELL_VAR = "cell variable"
+    LOOP_INDEX = "loop index"
+    FUNCTION = "function"
+    CELL_ID = "cell identifier"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A resolved name with its kind, type and array shape."""
+
+    name: str
+    kind: SymbolKind
+    scalar_type: ScalarType
+    dimensions: tuple[int, ...]
+    location: SourceLocation
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dimensions)
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for dim in self.dimensions:
+            count *= dim
+        return count
+
+
+def host_kind(direction: ParamDirection) -> SymbolKind:
+    if direction is ParamDirection.IN:
+        return SymbolKind.HOST_IN
+    return SymbolKind.HOST_OUT
+
+
+class Scope:
+    """A single lexical scope mapping names to symbols."""
+
+    def __init__(self, parent: Scope | None = None):
+        self._parent = parent
+        self._symbols: dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol) -> None:
+        """Add ``symbol``; duplicate names in the same scope are rejected."""
+        if symbol.name in self._symbols:
+            raise SemanticError(
+                f"duplicate declaration of {symbol.name!r}", symbol.location
+            )
+        self._symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        """Resolve ``name`` through this scope and its ancestors."""
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope._symbols:
+                return scope._symbols[name]
+            scope = scope._parent
+        return None
+
+    def lookup_or_fail(self, name: str, location: SourceLocation) -> Symbol:
+        symbol = self.lookup(name)
+        if symbol is None:
+            raise SemanticError(f"undefined name {name!r}", location)
+        return symbol
+
+    def local_symbols(self) -> list[Symbol]:
+        """Symbols defined directly in this scope (not ancestors)."""
+        return list(self._symbols.values())

@@ -1,0 +1,30 @@
+"""The Warp machine simulator: cells, queues, IU address path, host
+feeder/collector, plus the AST-level reference interpreter."""
+
+from .array import SimulationResult, WarpMachine, simulate
+from .cell import CellExecutor, CellStats, TraceEvent
+from .config import DEFAULT_CONFIG, CellConfig, IUConfig, WarpConfig
+from .host import HostMemory, collect_outputs, feed_input_queues
+from .iu_machine import IUMachine, run_iu_program
+from .queue import TimedQueue
+from .reference import interpret
+
+__all__ = [
+    "CellConfig",
+    "CellExecutor",
+    "CellStats",
+    "DEFAULT_CONFIG",
+    "HostMemory",
+    "IUConfig",
+    "IUMachine",
+    "SimulationResult",
+    "TimedQueue",
+    "TraceEvent",
+    "WarpConfig",
+    "WarpMachine",
+    "collect_outputs",
+    "feed_input_queues",
+    "interpret",
+    "run_iu_program",
+    "simulate",
+]

@@ -1,0 +1,161 @@
+"""The Warp machine: array + IU + host, orchestrated.
+
+Cells run under the skewed computation model: cell ``i`` starts at cycle
+``i * skew``.  Because compilable programs communicate strictly left to
+right, the simulator executes the cells in order — each to completion —
+which is *exactly* equivalent to lock-step execution (a cell's behaviour
+depends only on its own deterministic schedule and the timestamps of the
+items in its input queues) and lets queue underflow, bandwidth and
+capacity violations be detected precisely.
+
+The IU's address emissions propagate down the address path with a
+one-cycle hop per cell; every cell sees the same address stream, delayed
+by its position, and dequeues it in lock step with its own schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..lang.ast import Channel
+
+if TYPE_CHECKING:  # pragma: no cover - avoid circular import at run time
+    from ..compiler.driver import CompiledProgram
+from .cell import CellExecutor, CellStats, TraceEvent
+from .host import HostMemory, collect_outputs, feed_input_queues
+from .queue import TimedQueue
+
+
+@dataclass
+class SimulationResult:
+    """Outputs and statistics of one run."""
+
+    outputs: dict[str, np.ndarray]
+    cell_stats: list[CellStats]
+    total_cycles: int
+    skew: int
+    #: Peak occupancy per inter-cell queue, name -> words.
+    queue_occupancy: dict[str, int]
+    trace: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def throughput_denominator(self) -> int:
+        return self.total_cycles
+
+    def output(self, name: str, shape: tuple[int, ...] | None = None) -> np.ndarray:
+        data = self.outputs[name]
+        if shape:
+            return data.reshape(shape)
+        return data
+
+
+class WarpMachine:
+    """A configured Warp machine ready to run compiled programs."""
+
+    def __init__(self, program: "CompiledProgram"):
+        self._program = program
+        self._config = program.config
+
+    def run(
+        self,
+        inputs: dict[str, np.ndarray],
+        trace_limit: int = 0,
+    ) -> SimulationResult:
+        program = self._program
+        n_cells = program.n_cells
+        skew = program.skew.skew
+        memory = HostMemory.from_inputs(program.ir.host_arrays, inputs)
+
+        # Inter-cell data queues; index i connects cell i-1 -> cell i
+        # (index 0 is the host boundary, index n_cells the collector).
+        links: list[dict[Channel, TimedQueue]] = []
+        for i in range(n_cells + 1):
+            capacity = None if i == 0 else self._config.queue_depth
+            links.append(
+                {
+                    channel: TimedQueue(
+                        name=f"link{i}.{channel.value}", capacity=capacity
+                    )
+                    for channel in (Channel.X, Channel.Y)
+                }
+            )
+        feed_input_queues(program.host_program, memory, links[0])
+
+        # Address path: the same IU stream per cell, delayed by the hop
+        # latency; emitted FIFO order is preserved.
+        emissions = list(program.iu_program.emission_times())
+        hop = self._config.address_hop_latency
+
+        trace: list[TraceEvent] = []
+        traced_per_cell: dict[int, int] = {}
+
+        def tracer(event: TraceEvent) -> None:
+            # Cells execute sequentially, so cap the budget per cell to
+            # keep early events of *every* cell (Figure 4-2 needs the
+            # first events of cells 0 and 1 side by side).
+            count = traced_per_cell.get(event.cell, 0)
+            if count < trace_limit:
+                traced_per_cell[event.cell] = count + 1
+                trace.append(event)
+
+        stats: list[CellStats] = []
+        occupancy: dict[str, int] = {}
+        end_time = 0
+        for cell_index in range(n_cells):
+            start = cell_index * skew
+            address_queue = TimedQueue(
+                name=f"adr{cell_index}",
+                capacity=self._config.address_queue_depth,
+            )
+            for emit_time, _deadline, address in emissions:
+                address_queue.enqueue(emit_time + cell_index * hop, float(address))
+            executor = CellExecutor(
+                code=program.cell_code,
+                config=self._config.cell,
+                cell_index=cell_index,
+                start_time=start,
+                in_queues=links[cell_index],
+                out_queues=links[cell_index + 1],
+                address_queue=address_queue,
+                trace=tracer if trace_limit else None,
+            )
+            cell_stats = executor.run()
+            stats.append(cell_stats)
+            end_time = max(end_time, cell_stats.end_time)
+            occupancy[address_queue.name] = address_queue.audit_capacity()
+
+        for i in range(1, n_cells):
+            for channel, queue in links[i].items():
+                occupancy[queue.name] = queue.audit_capacity()
+                if queue.items_received < queue.items_sent:
+                    # Unconsumed pads are legal; a receiver short of data
+                    # would already have raised underflow.
+                    pass
+
+        collect_outputs(program.host_program, memory, links[n_cells])
+
+        outputs = {
+            name: memory.arrays[name].copy()
+            for name in program.ir.host_arrays
+        }
+        return SimulationResult(
+            outputs=outputs,
+            cell_stats=stats,
+            total_cycles=end_time,
+            skew=skew,
+            queue_occupancy=occupancy,
+            trace=trace,
+        )
+
+
+def simulate(
+    program: "CompiledProgram",
+    inputs: dict[str, np.ndarray],
+    trace_limit: int = 0,
+) -> SimulationResult:
+    """Run a compiled program on the simulated Warp machine."""
+    return WarpMachine(program).run(inputs, trace_limit=trace_limit)

@@ -1,0 +1,200 @@
+"""Cycle-accurate execution of one Warp cell's microcode.
+
+The executor walks the scheduled program tree instruction by instruction,
+with an absolute cycle counter (the cell's start is offset by its skew).
+Pipelining is modelled exactly: an operation issued at cycle ``t`` with
+latency ``L`` writes its destination register at ``t + L``; reads at or
+after that cycle see the new value, earlier reads see the old one —
+precisely the semantics the scheduler's latency edges assume, so any
+scheduler bug surfaces as a wrong result against the reference
+interpreter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..cellcodegen.emit import CellCode, ScheduledBlock, ScheduledLoop
+from ..cellcodegen.isa import AddressSource, Lit, MicroInstr, Operand, Reg
+from ..analysis.local_opt import evaluate_pure
+from ..ir.dag import OpKind, QueueRef
+from ..lang.ast import Channel, Direction
+from ..config import CellConfig
+from .queue import TimedQueue
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable I/O action, for execution traces (Figure 4-2)."""
+
+    cell: int
+    time: int
+    kind: str  # 'send' | 'receive'
+    queue: str
+    value: float
+
+
+@dataclass
+class CellStats:
+    cell: int
+    start_time: int
+    end_time: int = 0
+    alu_ops: int = 0
+    mpy_ops: int = 0
+    mem_reads: int = 0
+    mem_writes: int = 0
+    receives: int = 0
+    sends: int = 0
+
+    @property
+    def busy_cycles(self) -> int:
+        return self.end_time - self.start_time
+
+    @property
+    def flop_utilization(self) -> float:
+        """Floating-point issues per FPU issue slot (2 per cycle)."""
+        cycles = max(self.busy_cycles, 1)
+        return (self.alu_ops + self.mpy_ops) / (2 * cycles)
+
+
+class CellExecutor:
+    """Execute one cell's program against its queues."""
+
+    def __init__(
+        self,
+        code: CellCode,
+        config: CellConfig,
+        cell_index: int,
+        start_time: int,
+        in_queues: dict[Channel, TimedQueue],
+        out_queues: dict[Channel, TimedQueue],
+        address_queue: TimedQueue,
+        trace: Callable[[TraceEvent], None] | None = None,
+    ):
+        self._code = code
+        self._config = config
+        self._cell = cell_index
+        self._start = start_time
+        self._in = in_queues
+        self._out = out_queues
+        self._addr = address_queue
+        self._trace = trace
+        self._registers = [0.0] * config.n_registers
+        self._pending: list[tuple[int, int, int, float]] = []  # (time, seq, reg, value)
+        self._seq = 0
+        self._memory = [0.0] * config.memory_words
+        self.stats = CellStats(cell=cell_index, start_time=start_time)
+
+    # Register file with delayed writeback --------------------------------
+
+    def _apply_writebacks(self, time: int) -> None:
+        while self._pending and self._pending[0][0] <= time:
+            _, _, reg, value = heapq.heappop(self._pending)
+            self._registers[reg] = value
+
+    def _write_later(self, time: int, reg: Reg, value: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._pending, (time, self._seq, reg.index, value))
+
+    def _read(self, operand: Operand) -> float:
+        if isinstance(operand, Lit):
+            return operand.value
+        return self._registers[operand.index]
+
+    # Execution ---------------------------------------------------------------
+
+    def run(self) -> CellStats:
+        end = self._run_items(self._code.items, self._start)
+        # Flush outstanding writebacks (architecturally they land during
+        # the drain cycles already counted in the block lengths).
+        self._apply_writebacks(end)
+        self.stats.end_time = end
+        return self.stats
+
+    def _run_items(self, items, time: int) -> int:
+        for item in items:
+            if isinstance(item, ScheduledBlock):
+                time = self._run_block(item, time)
+            else:
+                assert isinstance(item, ScheduledLoop)
+                for _ in range(item.trip):
+                    time = self._run_items(item.body, time)
+        return time
+
+    def _run_block(self, block: ScheduledBlock, time: int) -> int:
+        for cycle, instr in enumerate(block.instructions):
+            if not instr.is_nop():
+                self._execute(instr, time + cycle)
+        return time + block.length
+
+    def _execute(self, instr: MicroInstr, now: int) -> None:
+        self._apply_writebacks(now)
+        config = self._config
+        for deq in instr.deqs:
+            queue = self._queue_for(deq.queue, incoming=True)
+            value = queue.dequeue(now)
+            self._write_later(now + config.queue_latency, deq.dest, value)
+            self.stats.receives += 1
+            if self._trace:
+                self._trace(
+                    TraceEvent(self._cell, now, "receive", str(deq.queue), value)
+                )
+        # Memory: loads observe the pre-store contents of this cycle.
+        loads = [m for m in instr.mem if m.is_load]
+        stores = [m for m in instr.mem if not m.is_load]
+        for mem in loads:
+            address = self._address(mem, now)
+            value = self._memory[address]
+            assert mem.reg is not None
+            self._write_later(now + config.mem_read_latency, mem.reg, value)
+            self.stats.mem_reads += 1
+        for mem in stores:
+            address = self._address(mem, now)
+            assert mem.store_value is not None
+            self._memory[address] = self._read(mem.store_value)
+            self.stats.mem_writes += 1
+        if instr.alu:
+            values = [self._read(s) for s in instr.alu.sources]
+            result = evaluate_pure(instr.alu.op, values)
+            self._write_later(now + config.alu_latency, instr.alu.dest, result)
+            self.stats.alu_ops += 1
+        if instr.mpy:
+            values = [self._read(s) for s in instr.mpy.sources]
+            result = evaluate_pure(instr.mpy.op, values)
+            latency = (
+                config.div_latency
+                if instr.mpy.op is OpKind.FDIV
+                else config.mpy_latency
+            )
+            self._write_later(now + latency, instr.mpy.dest, result)
+            self.stats.mpy_ops += 1
+        if instr.move:
+            value = self._read(instr.move.source)
+            self._write_later(now + config.move_latency, instr.move.dest, value)
+        for enq in instr.enqs:
+            queue = self._queue_for(enq.queue, incoming=False)
+            value = self._read(enq.source)
+            queue.enqueue(now, value)
+            self.stats.sends += 1
+            if self._trace:
+                self._trace(
+                    TraceEvent(self._cell, now, "send", str(enq.queue), value)
+                )
+
+    def _address(self, mem, now: int) -> int:
+        if mem.address_source is AddressSource.LITERAL:
+            return mem.address
+        return int(self._addr.dequeue(now))
+
+    def _queue_for(self, ref: QueueRef, incoming: bool) -> TimedQueue:
+        if incoming:
+            assert ref.direction is Direction.LEFT, (
+                "compilable programs only receive from the left"
+            )
+            return self._in[ref.channel]
+        assert ref.direction is Direction.RIGHT, (
+            "compilable programs only send to the right"
+        )
+        return self._out[ref.channel]

@@ -1,0 +1,9 @@
+"""Re-export of the machine configuration (see :mod:`repro.config`).
+
+The dataclasses live at the package top level so that code-generation
+modules can import them without triggering the simulator package's
+imports."""
+
+from ..config import DEFAULT_CONFIG, CellConfig, IUConfig, WarpConfig
+
+__all__ = ["DEFAULT_CONFIG", "CellConfig", "IUConfig", "WarpConfig"]

@@ -1,0 +1,109 @@
+"""Executor for lowered IU programs.
+
+Runs the interface unit as the register machine it is: 16 registers,
+add/subtract-only ALU, a table memory readable strictly in sequential
+order (the hardware restriction of Section 6.3.2 — skipping or rewinding
+raises), and loop counters.  The produced address stream is the ground
+truth the planner's direct affine evaluation must match; the test suite
+asserts the two are identical for every compiled program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..iucodegen.isa import IUOp, IUOpKind
+from ..iucodegen.lower import LoweredBlock, LoweredIUProgram, LoweredLoop
+
+
+class TableOrderError(SimulationError):
+    """The table memory was read out of sequential order."""
+
+
+@dataclass
+class IUMachineState:
+    registers: dict[int, int] = field(default_factory=dict)
+    table_cursor: int = 0
+    emitted: list[int] = field(default_factory=list)
+    ops_executed: int = 0
+    loop_tests: int = 0
+
+
+class IUMachine:
+    """Execute a lowered IU program and collect its address stream."""
+
+    def __init__(self, program: LoweredIUProgram, n_registers: int = 16):
+        self._program = program
+        self._n_registers = n_registers
+        self.state = IUMachineState()
+
+    def run(self) -> list[int]:
+        for op in self._program.prologue:
+            self._execute(op)
+        self._run_items(self._program.items)
+        if self.state.table_cursor not in (0, len(self._program.table)):
+            raise TableOrderError(
+                f"table memory not fully consumed: cursor "
+                f"{self.state.table_cursor} of {len(self._program.table)}"
+            )
+        return list(self.state.emitted)
+
+    # Execution ---------------------------------------------------------------
+
+    def _run_items(self, items) -> None:
+        for item in items:
+            if isinstance(item, LoweredBlock):
+                for op in item.ops:
+                    self._execute(op)
+            else:
+                assert isinstance(item, LoweredLoop)
+                for _ in range(item.trip):
+                    self._run_items(item.body)
+                    for op in item.boundary_ops:
+                        self._execute(op)
+                for op in item.exit_ops:
+                    self._execute(op)
+
+    def _reg(self, reg) -> int:
+        if reg.index >= self._n_registers:
+            raise SimulationError(
+                f"register {reg} out of range (IU has {self._n_registers})"
+            )
+        return self.state.registers.get(reg.index, 0)
+
+    def _execute(self, op: IUOp) -> None:
+        state = self.state
+        state.ops_executed += 1
+        if op.kind is IUOpKind.SETI:
+            state.registers[op.dest.index] = int(op.immediate)
+        elif op.kind is IUOpKind.ADDI:
+            state.registers[op.dest.index] = self._reg(op.src1) + int(
+                op.immediate
+            )
+        elif op.kind is IUOpKind.ADD:
+            state.registers[op.dest.index] = self._reg(op.src1) + self._reg(
+                op.src2
+            )
+        elif op.kind is IUOpKind.SUB:
+            state.registers[op.dest.index] = self._reg(op.src1) - self._reg(
+                op.src2
+            )
+        elif op.kind is IUOpKind.EMIT:
+            state.emitted.append(self._reg(op.src1))
+        elif op.kind is IUOpKind.EMIT_TABLE:
+            if state.table_cursor >= len(self._program.table):
+                raise TableOrderError("table memory exhausted")
+            state.emitted.append(self._program.table[state.table_cursor])
+            state.table_cursor += 1
+        elif op.kind is IUOpKind.LOOP_TEST:
+            state.loop_tests += 1
+        elif op.kind is IUOpKind.LOOP_INIT:
+            pass
+        else:  # pragma: no cover
+            raise SimulationError(f"unknown IU op {op.kind}")
+
+
+def run_iu_program(program: LoweredIUProgram) -> list[int]:
+    """Execute a lowered IU program, returning its address stream."""
+    return IUMachine(program).run()

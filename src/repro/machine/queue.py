@@ -1,0 +1,81 @@
+"""Timestamped FIFO queues between neighbouring cells.
+
+Because data flows strictly left-to-right in compilable programs, the
+simulator runs the cells sequentially (cell 0 to completion, then cell 1,
+…) while preserving exact cycle semantics: every enqueue records the
+cycle it happened, and a dequeue at cycle ``t`` must find its item
+already sent at some cycle ``<= t`` — otherwise the compiler's skew
+guarantee failed and :class:`QueueUnderflowError` is raised.
+
+Capacity is audited after both endpoints have run, using the same
+occupancy definition as the compile-time analysis
+(:func:`repro.timing.buffers.occupancy_requirement`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import QueueCapacityError, QueueUnderflowError
+from ..timing.buffers import occupancy_requirement
+
+
+@dataclass
+class TimedQueue:
+    """A FIFO whose items carry the cycle they were enqueued."""
+
+    name: str
+    capacity: int | None = None  # None = flow-controlled (host boundary)
+    send_times: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    recv_times: list[int] = field(default_factory=list)
+    _cursor: int = 0
+
+    def enqueue(self, time: int, value: float) -> None:
+        if self.send_times and time < self.send_times[-1]:
+            raise ValueError(f"{self.name}: enqueue times must not decrease")
+        self.send_times.append(time)
+        self.values.append(value)
+
+    def dequeue(self, time: int) -> float:
+        if self._cursor >= len(self.values):
+            raise QueueUnderflowError(
+                f"{self.name}: dequeue at cycle {time} but only "
+                f"{len(self.values)} items were ever sent"
+            )
+        sent = self.send_times[self._cursor]
+        if sent > time:
+            raise QueueUnderflowError(
+                f"{self.name}: dequeue at cycle {time} of an item sent at "
+                f"cycle {sent} — the skew guarantee failed"
+            )
+        value = self.values[self._cursor]
+        self.recv_times.append(time)
+        self._cursor += 1
+        return value
+
+    @property
+    def items_sent(self) -> int:
+        return len(self.values)
+
+    @property
+    def items_received(self) -> int:
+        return self._cursor
+
+    def max_occupancy(self) -> int:
+        """Peak occupancy over the whole run (post-hoc audit)."""
+        return occupancy_requirement(
+            np.asarray(self.send_times, dtype=np.int64),
+            np.asarray(self.recv_times, dtype=np.int64),
+            skew=0,  # times here are already absolute
+        )
+
+    def audit_capacity(self) -> int:
+        occupancy = self.max_occupancy()
+        if self.capacity is not None and occupancy > self.capacity:
+            raise QueueCapacityError(
+                f"{self.name}: peak occupancy {occupancy} exceeds the "
+                f"{self.capacity}-word queue"
+            )
+        return occupancy

@@ -1,0 +1,31 @@
+"""Execution-trace formatting (Figure 4-2).
+
+Figure 4-2 shows the logical sequence of sends and receives on the first
+two cells of the polynomial program, with arrows from each send to the
+receive that consumes it.  :func:`format_two_cell_trace` renders the
+same picture from a simulation trace."""
+
+from __future__ import annotations
+
+from .cell import TraceEvent
+
+
+def format_two_cell_trace(
+    trace: list[TraceEvent], max_rows: int = 24
+) -> str:
+    """Two-column rendering of cell 0 and cell 1 I/O events in time
+    order; sends of cell 0 on the rightward channels line up with the
+    receives of cell 1 that consume them."""
+    rows: list[str] = [f"{'Cell 0':<36}{'Cell 1'}"]
+    events = sorted(
+        (e for e in trace if e.cell in (0, 1)),
+        key=lambda e: (e.time, e.cell, e.kind == "send"),
+    )
+    for event in events[:max_rows]:
+        arrow = "->" if (event.cell == 0 and event.kind == "send") else "  "
+        text = f"t={event.time:<4} {event.kind:<8} {event.queue} {event.value:<8.4g} {arrow}"
+        if event.cell == 0:
+            rows.append(f"{text:<36}")
+        else:
+            rows.append(f"{'':<36}{text}")
+    return "\n".join(rows)

@@ -1,0 +1,22 @@
+"""Abstract computation models for systolic arrays (Section 3)."""
+
+from .parallel import ParallelModeComparison, compare_parallel_mode
+from .stage import (
+    ModelComparison,
+    StageSpec,
+    compare_models,
+    figure_3_1_comparison,
+    simd_cell_latency,
+    skewed_cell_latency,
+)
+
+__all__ = [
+    "ModelComparison",
+    "ParallelModeComparison",
+    "StageSpec",
+    "compare_models",
+    "compare_parallel_mode",
+    "figure_3_1_comparison",
+    "simd_cell_latency",
+    "skewed_cell_latency",
+]

@@ -1,0 +1,53 @@
+"""Parallel-mode comparison of the SIMD and skewed models (Section 3).
+
+"In the SIMD model computation cannot start until all the data are ready
+for all the cells.  In the skewed model, we can initiate the computation
+in each cell as soon as its input demand is satisfied, thus reducing the
+latency of the computation."
+
+Data is loaded through the array (one word per cycle at the boundary),
+so cell ``i``'s partition of ``items_per_cell`` words is complete at
+time ``(i + 1) * items_per_cell``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelModeComparison:
+    n_cells: int
+    items_per_cell: int
+    compute_cycles: int
+    #: Cycle at which each cell starts computing, per model.
+    simd_starts: tuple[int, ...]
+    skewed_starts: tuple[int, ...]
+
+    @property
+    def simd_first_result(self) -> int:
+        return self.simd_starts[0] + self.compute_cycles
+
+    @property
+    def skewed_first_result(self) -> int:
+        return self.skewed_starts[0] + self.compute_cycles
+
+    @property
+    def first_result_speedup(self) -> float:
+        return self.simd_first_result / self.skewed_first_result
+
+
+def compare_parallel_mode(
+    n_cells: int, items_per_cell: int, compute_cycles: int
+) -> ParallelModeComparison:
+    """Start/first-result times when partitioned data streams through the
+    array to its owning cell."""
+    load_done = [(i + 1) * items_per_cell for i in range(n_cells)]
+    simd_start = max(load_done)
+    return ParallelModeComparison(
+        n_cells=n_cells,
+        items_per_cell=items_per_cell,
+        compute_cycles=compute_cycles,
+        simd_starts=tuple(simd_start for _ in range(n_cells)),
+        skewed_starts=tuple(load_done),
+    )

@@ -1,0 +1,119 @@
+"""Abstract stage model for comparing computation models (Section 3).
+
+Figure 3-1 compares the SIMD and skewed computation models on an
+abstract pipeline: every cell repeats a *stage* of ``n_steps`` steps,
+and step ``dependency_step`` of a stage needs the result that the
+previous cell's stage produced in its own step ``dependency_step``.
+
+In the SIMD model all cells execute step ``s`` of iteration ``k``
+simultaneously, so a cell can only consume its neighbour's iteration-k
+result in iteration ``k+1``: the pipeline latency per cell is the whole
+stage time.  In the skewed model the delay between neighbours is just
+enough for the producing step to finish before the consuming step starts
+— one cycle for the paper's example of a 4-step stage whose step 4 needs
+the neighbour's step-4 result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage executed repeatedly by every cell.
+
+    ``produce_step``: the step (1-based) whose result is passed to the
+    right neighbour.  ``consume_step``: the step that needs the left
+    neighbour's produced value of the *same* iteration.  Figure 3-1 uses
+    ``n_steps = 4`` and ``produce_step = consume_step = 4``.
+    """
+
+    n_steps: int
+    produce_step: int
+    consume_step: int
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.produce_step <= self.n_steps):
+            raise ValueError("produce_step out of range")
+        if not (1 <= self.consume_step <= self.n_steps):
+            raise ValueError("consume_step out of range")
+
+
+def skewed_cell_latency(spec: StageSpec) -> int:
+    """Latency added per cell in the skewed computation model.
+
+    Cell ``i+1`` must be delayed so that its ``consume_step`` of
+    iteration ``k`` starts after cell ``i``'s ``produce_step`` of
+    iteration ``k`` finishes:
+
+        skew >= produce_step - consume_step + 1
+
+    and at least the data-transfer cycle when the producer is not ahead.
+    """
+    return max(1, spec.produce_step - spec.consume_step + 1)
+
+
+def simd_cell_latency(spec: StageSpec) -> int:
+    """Latency added per cell in the SIMD model.
+
+    All cells run the same step in the same cycle, so iteration-``k``
+    results of the left neighbour are only consumable in iteration
+    ``k+1``: each cell adds a full stage time when the consuming step
+    does not strictly follow the producing one.
+    """
+    if spec.consume_step > spec.produce_step:
+        return 0  # consumable within the same iteration, no added latency
+    return spec.n_steps
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Latency of an ``n_cells``-deep pipeline under both models."""
+
+    spec: StageSpec
+    n_cells: int
+    n_iterations: int
+    simd_latency_per_cell: int
+    skewed_latency_per_cell: int
+    simd_total: int
+    skewed_total: int
+
+    @property
+    def latency_ratio(self) -> float:
+        return self.simd_latency_per_cell / self.skewed_latency_per_cell
+
+
+def compare_models(
+    spec: StageSpec, n_cells: int, n_iterations: int
+) -> ModelComparison:
+    """Total time until the last cell finishes iteration ``n_iterations``
+    under each model (both models retire one iteration per stage time
+    once full; only the fill latency differs)."""
+    stage = spec.n_steps
+    simd_per_cell = simd_cell_latency(spec)
+    skewed_per_cell = skewed_cell_latency(spec)
+    simd_total = simd_per_cell * (n_cells - 1) + stage * n_iterations
+    skewed_total = skewed_per_cell * (n_cells - 1) + stage * n_iterations
+    return ModelComparison(
+        spec=spec,
+        n_cells=n_cells,
+        n_iterations=n_iterations,
+        simd_latency_per_cell=simd_per_cell,
+        skewed_latency_per_cell=skewed_per_cell,
+        simd_total=simd_total,
+        skewed_total=skewed_total,
+    )
+
+
+def figure_3_1_comparison(n_cells: int = 3, n_iterations: int = 3) -> ModelComparison:
+    """The paper's example: 4-step stages, step 4 feeding step 4.
+
+    "The latency through each cell is 4 cycles in the SIMD model, but
+    only one cycle in the skewed model."
+    """
+    return compare_models(
+        StageSpec(n_steps=4, produce_step=4, consume_step=4),
+        n_cells=n_cells,
+        n_iterations=n_iterations,
+    )

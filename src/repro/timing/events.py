@@ -1,0 +1,102 @@
+"""Exact enumeration of stream event times.
+
+The ground truth against which the five-vector timing functions are
+validated, and the input to the exact skew/buffer computations.  Loops
+are expanded with numpy tiling, so enumeration is cheap up to millions
+of events; callers bound the cost with ``max_events`` and fall back to
+the analytic method beyond it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cellcodegen.emit import CellCode, ScheduledBlock, ScheduledItem
+from .vectors import Stream, _item_cycles
+
+
+class TooManyEventsError(Exception):
+    """Enumeration would exceed the caller's budget."""
+
+
+def count_stream_events(items: list[ScheduledItem], stream: Stream) -> int:
+    total = 0
+    for item in items:
+        if isinstance(item, ScheduledBlock):
+            total += sum(1 for e in item.io_events if stream.matches(e))
+        else:
+            total += item.trip * count_stream_events(item.body, stream)
+    return total
+
+
+def stream_event_times(
+    code: CellCode, stream: Stream, max_events: int | None = 2_000_000
+) -> np.ndarray:
+    """Absolute cycle of every dynamic event of ``stream``, in order."""
+    total = count_stream_events(code.items, stream)
+    if max_events is not None and total > max_events:
+        raise TooManyEventsError(
+            f"stream {stream} has {total} events (budget {max_events})"
+        )
+    times = _times(code.items, stream)
+    return times
+
+
+def _times(items: list[ScheduledItem], stream: Stream) -> np.ndarray:
+    chunks: list[np.ndarray] = []
+    offset = 0
+    for item in items:
+        if isinstance(item, ScheduledBlock):
+            cycles = [
+                e.cycle for e in item.io_events if stream.matches(e)
+            ]
+            if cycles:
+                chunks.append(np.asarray(cycles, dtype=np.int64) + offset)
+            offset += item.length
+        else:
+            body = _times(item.body, stream)
+            iter_len = sum(_item_cycles(child) for child in item.body)
+            if body.size:
+                starts = offset + iter_len * np.arange(item.trip, dtype=np.int64)
+                chunks.append((body[None, :] + starts[:, None]).ravel())
+            offset += item.trip * iter_len
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+def stream_times_by_statement(
+    code: CellCode, stream: Stream, max_events: int | None = 2_000_000
+) -> dict[int, np.ndarray]:
+    """Per-static-statement event times, keyed by io_index.
+
+    Used by tests to validate each statement's tau function against the
+    schedule it summarises.
+    """
+    result: dict[int, list[np.ndarray]] = {}
+
+    def walk(items: list[ScheduledItem], offset: int) -> int:
+        for item in items:
+            if isinstance(item, ScheduledBlock):
+                for event in item.io_events:
+                    if stream.matches(event):
+                        result.setdefault(event.io_index, []).append(
+                            np.asarray([offset + event.cycle], dtype=np.int64)
+                        )
+                offset += item.length
+            else:
+                iter_len = sum(_item_cycles(child) for child in item.body)
+                for i in range(item.trip):
+                    walk(item.body, offset + i * iter_len)
+                offset += item.trip * iter_len
+        return offset
+
+    total = count_stream_events(code.items, stream)
+    if max_events is not None and total > max_events:
+        raise TooManyEventsError(
+            f"stream {stream} has {total} events (budget {max_events})"
+        )
+    walk(code.items, 0)
+    return {
+        io_index: np.concatenate(chunks) for io_index, chunks in result.items()
+    }

@@ -1,0 +1,140 @@
+"""Synthetic schedules for the paper's worked timing examples.
+
+The analyses in :mod:`repro.timing` consume scheduled cell code; the
+paper's Section 6.2.1 examples (Figure 6-2/Table 6-1 and
+Figure 6-4/Tables 6-2..6-4) are given directly as cycle-annotated I/O
+programs.  These helpers construct equivalent
+:class:`~repro.cellcodegen.emit.CellCode` trees so the examples (and
+property tests over random shapes) can drive the real implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cellcodegen.emit import CellCode, IOEvent, ScheduledBlock, ScheduledLoop
+from ..cellcodegen.isa import MicroInstr
+from ..cellcodegen.layout import MemoryLayout
+from ..config import CellConfig
+from ..ir.dag import OpKind, QueueRef
+from ..lang.ast import Channel, Direction
+
+
+@dataclass
+class SynthBlock:
+    """A straight-line segment: ``length`` cycles with I/O events given
+    as ``(kind, cycle)`` where kind is ``'in'`` (receive-from-left) or
+    ``'out'`` (send-to-right), optionally ``(kind, cycle, channel)``."""
+
+    length: int
+    events: list[tuple] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.events is None:
+            self.events = []
+
+
+@dataclass
+class SynthLoop:
+    trip: int
+    body: list["SynthItem"]
+
+
+SynthItem = object  # SynthBlock | SynthLoop
+
+
+def block(length: int, *events: tuple) -> SynthBlock:
+    return SynthBlock(length=length, events=list(events))
+
+
+def loop(trip: int, *body: SynthItem) -> SynthLoop:
+    return SynthLoop(trip=trip, body=list(body))
+
+
+def build_program(*items: SynthItem) -> CellCode:
+    """Materialise a synthetic schedule as CellCode."""
+    counter = {"io": 0, "block": 0, "loop": 0}
+    built = _build_items(list(items), counter)
+    return CellCode(
+        items=built,
+        layout=MemoryLayout(),
+        pinned={},
+        config=CellConfig(),
+    )
+
+
+def _build_items(items: list[SynthItem], counter: dict[str, int]) -> list:
+    result = []
+    for item in items:
+        if isinstance(item, SynthBlock):
+            io_events = []
+            for event in item.events:
+                kind_name, cycle = event[0], event[1]
+                channel = event[2] if len(event) > 2 else Channel.X
+                if kind_name == "in":
+                    kind = OpKind.RECV
+                    queue = QueueRef(Direction.LEFT, channel)
+                else:
+                    kind = OpKind.SEND
+                    queue = QueueRef(Direction.RIGHT, channel)
+                io_events.append(
+                    IOEvent(
+                        cycle=cycle,
+                        io_index=counter["io"],
+                        kind=kind,
+                        queue=queue,
+                    )
+                )
+                counter["io"] += 1
+            io_events.sort(key=lambda e: (e.cycle, e.io_index))
+            result.append(
+                ScheduledBlock(
+                    block_id=counter["block"],
+                    instructions=[MicroInstr() for _ in range(item.length)],
+                    length=item.length,
+                    io_events=io_events,
+                )
+            )
+            counter["block"] += 1
+        else:
+            assert isinstance(item, SynthLoop)
+            body = _build_items(item.body, counter)
+            result.append(
+                ScheduledLoop(
+                    loop_id=counter["loop"],
+                    var=f"v{counter['loop']}",
+                    start=0,
+                    step=1,
+                    trip=item.trip,
+                    body=body,
+                )
+            )
+            counter["loop"] += 1
+    return result
+
+
+def figure_6_2_program() -> CellCode:
+    """The straight-line example of Figure 6-2 / Table 6-1: an output at
+    cycle 0, inputs at cycles 1 and 2, and a second output at cycle 5.
+    Its minimum skew is 3."""
+    return build_program(
+        block(6, ("out", 0), ("in", 1), ("in", 2), ("out", 5))
+    )
+
+
+def figure_6_4_program() -> CellCode:
+    """The loop example of Figure 6-4 / Tables 6-2, 6-3 and 6-4.
+
+    One leading nop; a 5-iteration loop with two inputs per 3-cycle
+    iteration; two nops; a 2-iteration loop with two outputs per 2-cycle
+    iteration; two nops; a 2-iteration loop with three outputs per
+    5-cycle iteration.  Its minimum skew is 18.
+    """
+    return build_program(
+        block(1),
+        loop(5, block(3, ("in", 0), ("in", 1))),
+        block(2),
+        loop(2, block(2, ("out", 0), ("out", 1))),
+        block(2),
+        loop(2, block(5, ("out", 0), ("out", 1), ("out", 2))),
+    )

@@ -1,0 +1,182 @@
+"""The timing functions ``tau(n)`` of Section 6.2.1.
+
+For each static I/O statement ``m``, ``tau_m(n)`` maps the ordinal
+number of a stream operation to the clock cycle it executes, relative to
+the program start; it is defined only for ordinals that this statement
+actually executes (the statement's *domain*).
+
+Evaluation follows the paper's nested decomposition
+
+    g(1) = n,   g(j+1) = (g(j) - s_j) mod n_j
+    tau(n) = sum_j ( t_j + floor((g(j) - s_j) / n_j) * l_j )
+
+and the domain is the set of ``n`` for which every level's iteration
+number lies within the loop's trip count.
+
+For the bound computation, ``tau`` is also exposed as an exact linear
+form over ``n`` and the ``g(j)`` remainders (with rational coefficients,
+as in the paper's ``52/3 + 5/3 n - 2/3 (n-4) mod 3`` example), each
+``g(j)`` ranging over a known interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .vectors import IOCharacterization
+
+
+@dataclass(frozen=True)
+class LinearTerm:
+    """``coefficient * variable`` where the variable ranges over
+    ``[lower, upper]`` (inclusive)."""
+
+    coefficient: Fraction
+    lower: int
+    upper: int
+
+    def maximum(self) -> Fraction:
+        bound = self.upper if self.coefficient >= 0 else self.lower
+        return self.coefficient * bound
+
+    def minimum(self) -> Fraction:
+        bound = self.lower if self.coefficient >= 0 else self.upper
+        return self.coefficient * bound
+
+
+@dataclass(frozen=True)
+class LinearForm:
+    """``constant + coeff_n * n + sum(terms over g(j) remainders)``."""
+
+    constant: Fraction
+    n_coefficient: Fraction
+    #: Terms over the g(j) variables, j >= 2.
+    g_terms: tuple[LinearTerm, ...]
+    #: Domain of n.
+    n_lower: int
+    n_upper: int
+
+
+class TimingFunction:
+    """``tau(n)`` for one characterised statement."""
+
+    def __init__(self, char: IOCharacterization):
+        self.char = char
+        self._k = char.depth
+
+    # Exact evaluation -----------------------------------------------------
+
+    def in_domain(self, n: int) -> bool:
+        g = n
+        for j in range(self._k):
+            adjusted = g - self.char.S[j]
+            if adjusted < 0:
+                return False
+            iteration, g = divmod(adjusted, self.char.N[j])
+            if iteration >= self.char.R[j]:
+                return False
+        return g == 0
+
+    def __call__(self, n: int) -> int:
+        """Evaluate tau(n); raises ValueError outside the domain."""
+        g = n
+        total = 0
+        for j in range(self._k):
+            adjusted = g - self.char.S[j]
+            if adjusted < 0:
+                raise ValueError(f"n={n} not in domain of {self.char}")
+            iteration, g = divmod(adjusted, self.char.N[j])
+            if iteration >= self.char.R[j]:
+                raise ValueError(f"n={n} not in domain of {self.char}")
+            total += self.char.T[j] + iteration * self.char.L[j]
+        if g != 0:
+            raise ValueError(f"n={n} not in domain of {self.char}")
+        return total
+
+    def domain(self) -> list[int]:
+        """All valid ordinals (enumerated; use with small programs)."""
+        return [n for n in range(self.n_min(), self.n_max() + 1) if self.in_domain(n)]
+
+    # Domain extremes ------------------------------------------------------
+
+    def n_min(self) -> int:
+        """Smallest valid ordinal: first iteration at every level."""
+        return sum(self.char.S)
+
+    def n_max(self) -> int:
+        """Largest valid ordinal: last iteration at every level."""
+        n = 0
+        # Build from the innermost level outwards: at level j the ordinal
+        # within the loop is s_j + (r_j - 1) * n_j + (inner ordinal).
+        for j in reversed(range(self._k)):
+            n = self.char.S[j] + (self.char.R[j] - 1) * self.char.N[j] + n
+        return n
+
+    # Linear form for the bounding method ------------------------------------
+
+    def linear_form(self) -> LinearForm:
+        """The paper's closed form.
+
+        tau(n) = sum_j t_j - sum_j (l_j/n_j) s_j + (l_1/n_1) g(1)
+                 + sum_{j>=2} (l_j/n_j - l_{j-1}/n_{j-1}) g(j)
+                 - (l_k/n_k) g(k+1)
+
+        with g(1) = n and each g(j), j >= 2, bounded by both its mod
+        range ``[0, n_{j-1} - 1]`` and the domain constraint
+        ``sum_{m>=j} s_m <= g(j) <= (r_j - 1) n_j + sum_{m>=j} s_m``.
+        g(k+1) is always 0 for single-operation statements (n_k = 1), so
+        its term vanishes.
+        """
+        char = self.char
+        k = self._k
+        ratio = [Fraction(char.L[j], char.N[j]) for j in range(k)]
+        constant = Fraction(sum(char.T))
+        for j in range(k):
+            constant -= ratio[j] * char.S[j]
+        suffix_s = [0] * (k + 1)
+        for j in reversed(range(k)):
+            suffix_s[j] = suffix_s[j + 1] + char.S[j]
+        terms: list[LinearTerm] = []
+        for j in range(1, k):  # g(j+1) in paper indexing (1-based j>=2)
+            coefficient = ratio[j] - ratio[j - 1]
+            lower = suffix_s[j]
+            upper = min(
+                (char.R[j] - 1) * char.N[j] + suffix_s[j],
+                char.N[j - 1] - 1,
+            )
+            if coefficient != 0 and upper >= lower:
+                terms.append(LinearTerm(coefficient, lower, upper))
+        # g(k+1) term: N[k] == 1 for statements, so (g - s) mod 1 == 0.
+        return LinearForm(
+            constant=constant,
+            n_coefficient=ratio[0],
+            g_terms=tuple(terms),
+            n_lower=self.n_min(),
+            n_upper=self.n_max(),
+        )
+
+
+def max_time_difference_bound(
+    output: TimingFunction, input_: TimingFunction
+) -> Fraction | None:
+    """Upper bound on ``max(tau_O(n) - tau_I(n))`` over the (relaxed)
+    intersection of both domains — the paper's cheap bound.
+
+    Returns None when the ordinal ranges are disjoint (no data produced
+    by the output statement is ever read by the input statement).
+    """
+    out_form = output.linear_form()
+    in_form = input_.linear_form()
+    n_lower = max(out_form.n_lower, in_form.n_lower)
+    n_upper = min(out_form.n_upper, in_form.n_upper)
+    if n_lower > n_upper:
+        return None
+    n_coeff = out_form.n_coefficient - in_form.n_coefficient
+    best = out_form.constant - in_form.constant
+    best += n_coeff * (n_upper if n_coeff >= 0 else n_lower)
+    for term in out_form.g_terms:
+        best += term.maximum()
+    for term in in_form.g_terms:
+        best -= term.minimum()
+    return best

@@ -1,0 +1,281 @@
+"""Tests for AST -> IR lowering: inlining, if-conversion, value maps."""
+
+import pytest
+
+from repro.ir import build_ir
+from repro.ir.dag import OpKind
+from repro.ir.tree import Loop
+from repro.lang import UnsupportedProgramError, analyze, parse_module
+
+
+def lower(body, decls="float t, u;\n    int i, j;", host="float a[16];\nfloat b[16];"):
+    src = f"""
+module m (a in, b out)
+{host}
+cellprogram (cid : 0 : 1)
+begin
+    {decls}
+{body}
+end
+"""
+    return build_ir(analyze(parse_module(src)))
+
+
+def ops_in(ir, op):
+    return [
+        node
+        for block in ir.tree.blocks()
+        for node in block.dag.live_nodes()
+        if node.op is op
+    ]
+
+
+class TestBlockStructure:
+    def test_loop_splits_blocks(self):
+        ir = lower(
+            """
+    t := 1.0;
+    for i := 0 to 3 do
+        receive (L, X, t, a[i]);
+    send (R, X, t);
+"""
+        )
+        kinds = [type(item).__name__ for item in ir.tree.items]
+        assert kinds == ["BasicBlock", "Loop", "BasicBlock"]
+
+    def test_nested_loops(self):
+        ir = lower(
+            """
+    for i := 0 to 1 do
+        for j := 0 to 2 do
+            receive (L, X, t, a[3*i + j]);
+"""
+        )
+        outer = ir.tree.items[0]
+        assert isinstance(outer, Loop)
+        assert outer.trip == 2
+        inner = outer.body[0]
+        assert isinstance(inner, Loop)
+        assert inner.trip == 3
+
+    def test_effect_free_loop_dropped(self):
+        ir = lower(
+            """
+    receive (L, X, t, a[0]);
+    for i := 0 to 3 do begin end;
+    send (R, X, t);
+"""
+        )
+        assert all(not isinstance(item, Loop) for item in ir.tree.items)
+
+    def test_downto_step(self):
+        ir = lower("    for i := 5 downto 2 do receive (L, X, t, a[i]);")
+        loop = ir.tree.items[0]
+        assert (loop.start, loop.step, loop.trip) == (5, -1, 4)
+
+
+class TestValueMap:
+    def test_copy_propagation(self):
+        ir = lower(
+            """
+    receive (L, X, t, a[0]);
+    u := t;
+    send (R, X, u);
+"""
+        )
+        # The send's operand is the recv itself, not a copy.
+        sends = ops_in(ir, OpKind.SEND)
+        recvs = ops_in(ir, OpKind.RECV)
+        assert sends[0].operands == (recvs[0].node_id,)
+
+    def test_redundant_write_skipped(self):
+        ir = lower(
+            """
+    receive (L, X, t, a[0]);
+    for i := 0 to 1 do begin
+        u := t;
+        send (R, X, u);
+    end;
+"""
+        )
+        # u := t inside the loop writes u each iteration; t itself is
+        # only read, so no WRITE for t appears in the loop block.
+        loop_block = list(ir.tree.blocks())[1]
+        writes = [
+            n for n in loop_block.dag.live_nodes() if n.op is OpKind.WRITE
+        ]
+        assert all(n.attr != "t" for n in writes)
+
+    def test_cse_across_statements(self):
+        ir = lower(
+            """
+    receive (L, X, t, a[0]);
+    receive (L, X, u, a[1]);
+    send (R, X, t*u + t*u);
+"""
+        )
+        muls = ops_in(ir, OpKind.FMUL)
+        assert len(muls) == 1
+
+
+class TestIfConversion:
+    def test_select_generated(self):
+        ir = lower(
+            """
+    receive (L, X, t, a[0]);
+    if t < 0.5 then u := 1.0; else u := 2.0;
+    send (R, X, u);
+"""
+        )
+        selects = ops_in(ir, OpKind.SELECT)
+        assert len(selects) == 1
+
+    def test_one_sided_if_reads_old_value(self):
+        ir = lower(
+            """
+    receive (L, X, u, a[0]);
+    for i := 0 to 1 do begin
+        receive (L, X, t, a[i]);
+        if t < 0.5 then u := u + 1.0;
+        send (R, X, u);
+    end;
+"""
+        )
+        loop_block = list(ir.tree.blocks())[1]
+        selects = [
+            n for n in loop_block.dag.live_nodes() if n.op is OpKind.SELECT
+        ]
+        assert len(selects) == 1
+        # The else-value must be the block-entry READ of u.
+        else_operand = loop_block.dag.nodes[selects[0].operands[2]]
+        assert else_operand.op is OpKind.READ
+        assert else_operand.attr == "u"
+
+    def test_nested_if(self):
+        ir = lower(
+            """
+    receive (L, X, t, a[0]);
+    u := 0.0;
+    if t < 0.5 then begin
+        if t < 0.25 then u := 1.0; else u := 2.0;
+    end;
+    send (R, X, u);
+"""
+        )
+        selects = ops_in(ir, OpKind.SELECT)
+        assert len(selects) == 2
+
+    def test_branch_both_same_value_folds(self):
+        ir = lower(
+            """
+    receive (L, X, t, a[0]);
+    if t < 0.5 then u := 1.0; else u := 1.0;
+    send (R, X, u);
+"""
+        )
+        assert not ops_in(ir, OpKind.SELECT)
+
+    def test_io_inside_if_rejected(self):
+        with pytest.raises(UnsupportedProgramError, match="send/receive"):
+            lower(
+                """
+    receive (L, X, t, a[0]);
+    if t < 0.5 then send (R, X, t);
+"""
+            )
+
+    def test_loop_inside_if_rejected(self):
+        with pytest.raises(UnsupportedProgramError, match="loop"):
+            lower(
+                """
+    receive (L, X, t, a[0]);
+    if t < 0.5 then for i := 0 to 3 do u := 1.0;
+"""
+            )
+
+    def test_array_store_inside_if_rejected(self):
+        with pytest.raises(UnsupportedProgramError, match="array stores"):
+            lower(
+                """
+    receive (L, X, t, a[0]);
+    if t < 0.5 then w[0] := t;
+""",
+                decls="float t, w[4];\n    int i;",
+            )
+
+
+class TestInlining:
+    SRC = """
+module m (a in, b out)
+float a[8];
+float b[8];
+cellprogram (cid : 0 : 0)
+begin
+    function body
+    begin
+        float t;
+        int i;
+        for i := 0 to 3 do begin
+            receive (L, X, t, a[i]);
+            send (R, X, t, b[i]);
+        end;
+    end
+    call body;
+    call body;
+end
+"""
+
+    def test_two_instantiations(self):
+        ir = build_ir(analyze(parse_module(self.SRC)))
+        loops = list(ir.tree.loops())
+        assert len(loops) == 2
+        # Each instantiation gets its own renamed loop variable.
+        assert loops[0].var != loops[1].var
+
+    def test_io_statement_count(self):
+        ir = build_ir(analyze(parse_module(self.SRC)))
+        assert len(ir.io_statements) == 4  # 2 per instantiation
+
+
+class TestMemoryScalars:
+    def test_demoted_scalar_becomes_array(self):
+        src = """
+module m (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 0)
+begin
+    float t;
+    int i;
+    for i := 0 to 3 do begin
+        receive (L, X, t, a[i]);
+        send (R, X, t, b[i]);
+    end;
+end
+"""
+        ir = build_ir(analyze(parse_module(src)), memory_scalars=frozenset({"t"}))
+        assert "t" in ir.arrays
+        assert "t" not in ir.scalars
+        loop_block = next(ir.tree.blocks())
+        stores = [n for n in loop_block.dag.live_nodes() if n.op is OpKind.STORE]
+        loads = [n for n in loop_block.dag.live_nodes() if n.op is OpKind.LOAD]
+        assert stores and not loads  # forwarded load within the block
+
+
+class TestHostIndexFlattening:
+    def test_2d_external_flattened_row_major(self):
+        ir = lower(
+            """
+    for i := 0 to 1 do
+        for j := 0 to 2 do
+            receive (L, X, t, a[i, j]);
+""",
+            host="float a[2, 8];\nfloat b[16];",
+        )
+        stmt = ir.io_statements[0]
+        # Loop variables get unique IR names ("i#<loop_id>").
+        coeffs = dict(stmt.external_index.coefficients)
+        i_var = next(v for v in coeffs if v.startswith("i#"))
+        j_var = next(v for v in coeffs if v.startswith("j#"))
+        assert coeffs[i_var] == 8
+        assert coeffs[j_var] == 1

@@ -1,0 +1,249 @@
+"""Tests for cell code generation: scheduling, registers, layout, emission."""
+
+import pytest
+
+from repro.cellcodegen import generate_cell_code, layout_memory, schedule_block
+from repro.cellcodegen.isa import AddressSource, Lit, Reg
+from repro.cellcodegen.listing import format_cell_code
+from repro.cellcodegen.regalloc import allocate_registers
+from repro.config import CellConfig
+from repro.errors import MemoryOverflowError, RegisterPressureError
+from repro.ir import build_ir
+from repro.ir.dag import Dag, MemRef, OpKind, QueueRef
+from repro.lang import analyze, parse_module
+from repro.lang.ast import Channel, Direction
+from repro.lang.semantic import affine_const, affine_var
+
+CFG = CellConfig()
+
+
+def in_q():
+    return QueueRef(Direction.LEFT, Channel.X)
+
+
+def out_q():
+    return QueueRef(Direction.RIGHT, Channel.X)
+
+
+class TestBlockScheduler:
+    def test_latency_respected(self):
+        dag = Dag()
+        r = dag.recv(in_q())
+        doubled = dag.pure(OpKind.FMUL, r, dag.const(2.0))
+        dag.send(out_q(), doubled)
+        schedule = schedule_block(dag, CFG)
+        cycles = {
+            item.node.op: item.cycle
+            for item in schedule.items.values()
+            if item.node is not None
+        }
+        assert cycles[OpKind.FMUL] >= cycles[OpKind.RECV] + CFG.queue_latency
+        assert cycles[OpKind.SEND] >= cycles[OpKind.FMUL] + CFG.mpy_latency
+
+    def test_alu_and_mpy_issue_in_parallel(self):
+        dag = Dag()
+        a, b = dag.read("a"), dag.read("b")
+        total = dag.pure(OpKind.FADD, a, b)
+        product = dag.pure(OpKind.FMUL, a, b)
+        dag.write("s", total)
+        dag.write("p", product)
+        schedule = schedule_block(dag, CFG)
+        cycles = sorted(
+            item.cycle for item in schedule.items.values() if item.node is not None
+        )
+        assert cycles == [0, 0]
+
+    def test_single_alu_serialises(self):
+        dag = Dag()
+        a, b, c = dag.read("a"), dag.read("b"), dag.read("c")
+        dag.write("x", dag.pure(OpKind.FADD, a, b))
+        dag.write("y", dag.pure(OpKind.FADD, a, c))
+        schedule = schedule_block(dag, CFG)
+        cycles = sorted(
+            item.cycle for item in schedule.items.values() if item.node is not None
+        )
+        assert cycles == [0, 1]
+
+    def test_queue_order_strict(self):
+        dag = Dag()
+        first = dag.recv(in_q())
+        second = dag.recv(in_q())
+        dag.add_order_edge(first, second)
+        dag.write("a", first)
+        dag.write("b", second)
+        schedule = schedule_block(dag, CFG)
+        c1 = schedule.items[schedule.node_to_item[first.node_id]].cycle
+        c2 = schedule.items[schedule.node_to_item[second.node_id]].cycle
+        assert c2 > c1
+
+    def test_war_anti_dependence(self):
+        """x := x + 1 folds onto the adder writing the pinned register;
+        an unrelated consumer of the old x must not issue after it in a
+        way that reads the new value — the anti edge keeps the writer at
+        or after every old-value reader."""
+        dag = Dag()
+        x = dag.read("x")
+        new_x = dag.pure(OpKind.FADD, x, dag.const(1.0))
+        dag.send(out_q(), x)
+        dag.write("x", new_x)
+        dag.add_order_edge(x, dag.nodes[dag.effects[-1]])
+        schedule = schedule_block(dag, CFG)
+        send_cycle = next(
+            item.cycle
+            for item in schedule.items.values()
+            if item.node is not None and item.node.op is OpKind.SEND
+        )
+        add_cycle = next(
+            item.cycle
+            for item in schedule.items.values()
+            if item.node is not None and item.node.op is OpKind.FADD
+        )
+        assert add_cycle >= send_cycle
+
+    def test_drain_covers_writebacks(self):
+        dag = Dag()
+        r = dag.recv(in_q())
+        dag.write("x", dag.pure(OpKind.FMUL, r, r))
+        schedule = schedule_block(dag, CFG)
+        mul_cycle = next(
+            i.cycle for i in schedule.items.values()
+            if i.node is not None and i.node.op is OpKind.FMUL
+        )
+        assert schedule.length >= mul_cycle + CFG.mpy_latency
+
+    def test_two_distinct_literals_split_by_move(self):
+        dag = Dag()
+        r = dag.recv(in_q())
+        # select(cond, 2.0, 3.0) needs two distinct literals.
+        cond = dag.pure(OpKind.CMP_LT, r, dag.const(1.0))
+        sel = dag.pure(OpKind.SELECT, cond, dag.const(2.0), dag.const(3.0))
+        dag.send(out_q(), sel)
+        schedule = schedule_block(dag, CFG)
+        moves = [i for i in schedule.items.values() if i.kind == "move"]
+        assert moves  # at least one literal materialised
+
+    def test_mem_port_capacity(self):
+        dag = Dag()
+        loads = [
+            dag.load(MemRef("arr", affine_const(i))) for i in range(4)
+        ]
+        for i, load in enumerate(loads):
+            dag.write(f"v{i}", load)
+        schedule = schedule_block(dag, CFG)
+        by_cycle = {}
+        for item in schedule.items.values():
+            if item.kind == "mem":
+                by_cycle.setdefault(item.cycle, 0)
+                by_cycle[item.cycle] += 1
+        assert all(count <= CFG.mem_ports for count in by_cycle.values())
+
+
+class TestRegisterAllocation:
+    def _schedule(self, dag):
+        return schedule_block(dag, CFG)
+
+    def test_pinned_register_used(self):
+        dag = Dag()
+        r = dag.recv(in_q())
+        dag.write("x", r)
+        schedule = self._schedule(dag)
+        pinned = {"x": Reg(0)}
+        assignment = allocate_registers(schedule, dag, pinned, list(range(1, 8)))
+        deq_item = next(i for i in schedule.items.values() if i.kind == "deq")
+        assert assignment.dest(deq_item.item_id) == Reg(0)
+
+    def test_temporaries_reuse_registers(self):
+        dag = Dag()
+        previous = dag.read("x")
+        for i in range(6):
+            previous = dag.pure(OpKind.FADD, previous, dag.const(float(i + 1)))
+        dag.write("x", previous)
+        schedule = self._schedule(dag)
+        assignment = allocate_registers(
+            schedule, dag, {"x": Reg(0)}, list(range(1, 4))
+        )
+        used = {reg.index for reg in assignment.dests.values()}
+        assert used <= {0, 1, 2, 3}
+
+    def test_pressure_error(self):
+        dag = Dag()
+        # Many simultaneously-live receives.
+        recvs = [dag.recv(in_q()) for _ in range(6)]
+        total = recvs[0]
+        for r in recvs[1:]:
+            total = dag.pure(OpKind.FADD, total, r)
+        dag.send(out_q(), total)
+        schedule = self._schedule(dag)
+        with pytest.raises(RegisterPressureError):
+            allocate_registers(schedule, dag, {}, [0, 1])
+
+
+class TestLayout:
+    def test_bases_are_disjoint(self):
+        layout = layout_memory({"a": 10, "b": 5}, set(), CFG)
+        assert layout.base("a") == 0
+        assert layout.base("b") == 10
+        assert layout.total_words == 15
+
+    def test_demoted_scalars_get_slots(self):
+        layout = layout_memory({"a": 4}, {"s1", "s2"}, CFG)
+        assert layout.total_words == 6
+
+    def test_overflow(self):
+        with pytest.raises(MemoryOverflowError):
+            layout_memory({"big": CFG.memory_words + 1}, set(), CFG)
+
+
+class TestEmission:
+    SRC = """
+module m (a in, b out)
+float a[8];
+float b[8];
+cellprogram (cid : 0 : 0)
+begin
+    float t, w[8];
+    int i;
+    for i := 0 to 7 do begin
+        receive (L, X, t, a[i]);
+        w[i] := t;
+    end;
+    for i := 0 to 7 do
+        send (R, X, w[i] + 1.0, b[i]);
+end
+"""
+
+    def test_queue_addresses_demanded(self):
+        ir = build_ir(analyze(parse_module(self.SRC)))
+        code = generate_cell_code(ir, CFG)
+        demands = [d for b in code.blocks() for d in b.addr_demands]
+        assert demands  # w[i] needs IU addresses
+        assert all(not d.expression.is_constant for d in demands)
+
+    def test_constant_addresses_are_literal(self):
+        src = self.SRC.replace("w[i] := t;", "w[3] := t;").replace(
+            "send (R, X, w[i] + 1.0, b[i]);", "send (R, X, w[3] + 1.0, b[i]);"
+        )
+        ir = build_ir(analyze(parse_module(src)))
+        code = generate_cell_code(ir, CFG)
+        mems = [m for b in code.blocks() for ins in b.instructions for m in ins.mem]
+        assert mems
+        assert all(m.address_source is AddressSource.LITERAL for m in mems)
+
+    def test_listing_renders(self):
+        ir = build_ir(analyze(parse_module(self.SRC)))
+        code = generate_cell_code(ir, CFG)
+        text = format_cell_code(code)
+        assert "loop" in text and "block" in text
+
+    def test_io_events_ordered(self):
+        ir = build_ir(analyze(parse_module(self.SRC)))
+        code = generate_cell_code(ir, CFG)
+        for block in code.blocks():
+            cycles = [e.cycle for e in block.io_events]
+            assert cycles == sorted(cycles)
+
+    def test_instruction_count_counts_nops(self):
+        ir = build_ir(analyze(parse_module(self.SRC)))
+        code = generate_cell_code(ir, CFG)
+        total = sum(len(b.instructions) for b in code.blocks())
+        assert code.n_instructions == total

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCompileCommand:
+    def test_bundled_program(self, capsys):
+        assert main(["compile", "polynomial"]) == 0
+        out = capsys.readouterr().out
+        assert "polynomial" in out
+        assert "Cell ucode" in out
+
+    def test_listing_flag(self, capsys):
+        assert main(["compile", "passthrough", "--listing"]) == 0
+        out = capsys.readouterr().out
+        assert "block" in out and "loop" in out
+
+    def test_file_input(self, tmp_path, capsys):
+        from repro.programs import passthrough
+
+        path = tmp_path / "prog.w2"
+        path.write_text(passthrough(4, 2))
+        assert main(["compile", str(path)]) == 0
+        assert "passthrough" in capsys.readouterr().out
+
+    def test_unknown_program(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "no_such_program"])
+
+
+class TestRunCommand:
+    def test_inline_inputs(self, capsys):
+        assert main(["run", "passthrough", "--input", "din=1,2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "dout" in out
+
+    def test_npy_input_and_npz_output(self, tmp_path, capsys):
+        data = np.arange(6.0)
+        np.save(tmp_path / "din.npy", data)
+        out_path = tmp_path / "result.npz"
+        assert main(
+            [
+                "run",
+                "passthrough",
+                "--input",
+                f"din={tmp_path / 'din.npy'}",
+                "--output",
+                str(out_path),
+            ]
+        ) == 0
+        stored = np.load(out_path)
+        assert np.allclose(stored["dout"][:6], data)
+
+    def test_text_input(self, tmp_path, capsys):
+        path = tmp_path / "din.txt"
+        path.write_text("1.5 2.5\n3.5 4.5\n")
+        assert main(["run", "passthrough", "--input", f"din={path}"]) == 0
+        assert "dout" in capsys.readouterr().out
+
+    def test_trace_flag(self, capsys):
+        assert main(
+            ["run", "passthrough", "--input", "din=1,2", "--trace", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Cell 0" in out
+
+    def test_bad_input_spec(self):
+        with pytest.raises(SystemExit):
+            main(["run", "passthrough", "--input", "nonsense"])
+
+    def test_unparseable_values(self):
+        with pytest.raises(SystemExit):
+            main(["run", "passthrough", "--input", "din=a,b,c"])
+
+
+class TestOtherCommands:
+    def test_timing(self, capsys):
+        assert main(["timing", "conv1d"]) == 0
+        out = capsys.readouterr().out
+        assert "skew" in out and "queue" in out
+
+    def test_examples(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "polynomial" in out and "matmul" in out
+
+    def test_emit(self, capsys):
+        assert main(["emit", "polynomial"]) == 0
+        assert "module polynomial" in capsys.readouterr().out
+
+    def test_emit_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["emit", "nope"])
+
+    def test_unroll_option(self, capsys):
+        assert main(["compile", "polynomial", "--unroll", "4"]) == 0

@@ -1,0 +1,108 @@
+"""Unit tests for the DAG value numbering and ordering machinery."""
+
+from repro.ir.dag import Dag, MemRef, OpKind, QueueRef
+from repro.lang.ast import Channel, Direction
+from repro.lang.semantic import affine_const, affine_var, AffineIndex
+
+
+def queue():
+    return QueueRef(Direction.LEFT, Channel.X)
+
+
+class TestValueNumbering:
+    def test_constants_are_hash_consed(self):
+        dag = Dag()
+        assert dag.const(1.5) is dag.const(1.5)
+
+    def test_distinct_constants_distinct_nodes(self):
+        dag = Dag()
+        assert dag.const(1.0) is not dag.const(2.0)
+
+    def test_pure_cse(self):
+        dag = Dag()
+        a, b = dag.read("a"), dag.read("b")
+        first = dag.pure(OpKind.FADD, a, b)
+        second = dag.pure(OpKind.FADD, a, b)
+        assert first is second
+
+    def test_commutative_normalisation(self):
+        dag = Dag()
+        a, b = dag.read("a"), dag.read("b")
+        assert dag.pure(OpKind.FADD, a, b) is dag.pure(OpKind.FADD, b, a)
+        assert dag.pure(OpKind.FMUL, a, b) is dag.pure(OpKind.FMUL, b, a)
+
+    def test_noncommutative_not_normalised(self):
+        dag = Dag()
+        a, b = dag.read("a"), dag.read("b")
+        assert dag.pure(OpKind.FSUB, a, b) is not dag.pure(OpKind.FSUB, b, a)
+
+    def test_reads_are_shared(self):
+        dag = Dag()
+        assert dag.read("x") is dag.read("x")
+
+
+class TestMemoryEpochs:
+    def test_loads_merge_within_epoch(self):
+        dag = Dag()
+        ref = MemRef("arr", affine_const(3))
+        assert dag.load(ref) is dag.load(ref)
+
+    def test_store_starts_new_epoch(self):
+        dag = Dag()
+        ref = MemRef("arr", affine_const(3))
+        before = dag.load(ref)
+        dag.store(ref, dag.const(1.0))
+        after = dag.load(ref)
+        assert before is not after
+
+    def test_store_to_other_array_preserves_epoch(self):
+        dag = Dag()
+        ref = MemRef("arr", affine_var("i"))
+        before = dag.load(ref)
+        dag.store(MemRef("other", affine_const(0)), dag.const(1.0))
+        assert dag.load(ref) is before
+
+
+class TestEffects:
+    def test_recv_never_merged(self):
+        dag = Dag()
+        first = dag.recv(queue())
+        second = dag.recv(queue())
+        assert first is not second
+
+    def test_effect_order_recorded(self):
+        dag = Dag()
+        r = dag.recv(queue())
+        s = dag.send(QueueRef(Direction.RIGHT, Channel.X), r)
+        w = dag.write("x", r)
+        assert dag.effects == [r.node_id, s.node_id, w.node_id]
+
+    def test_io_nodes_in_order(self):
+        dag = Dag()
+        r = dag.recv(queue())
+        dag.write("x", r)
+        s = dag.send(QueueRef(Direction.RIGHT, Channel.X), r)
+        assert [n.node_id for n in dag.io_nodes()] == [r.node_id, s.node_id]
+
+
+class TestLiveness:
+    def test_dead_pure_nodes_excluded(self):
+        dag = Dag()
+        a = dag.read("a")
+        dag.pure(OpKind.FADD, a, dag.const(1.0))  # dead
+        used = dag.pure(OpKind.FMUL, a, a)
+        dag.write("out", used)
+        live_ids = {n.node_id for n in dag.live_nodes()}
+        assert used.node_id in live_ids
+        assert all(
+            dag.nodes[i].op is not OpKind.FADD for i in live_ids
+        )
+
+    def test_operands_of_live_nodes_are_live(self):
+        dag = Dag()
+        a = dag.read("a")
+        b = dag.const(2.0)
+        product = dag.pure(OpKind.FMUL, a, b)
+        dag.send(QueueRef(Direction.RIGHT, Channel.Y), product)
+        live_ids = {n.node_id for n in dag.live_nodes()}
+        assert {a.node_id, b.node_id, product.node_id} <= live_ids

@@ -1,0 +1,194 @@
+"""Tests for the array dependence tests (GCD + bounds), including a
+property-based comparison against brute-force enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dependence import (
+    IndexRange,
+    bounds_test_independent,
+    difference,
+    gcd_test_independent,
+    may_alias_any_iteration,
+    may_alias_same_iteration,
+    value_range,
+)
+from repro.lang.semantic import AffineIndex
+
+
+def form(constant, **coeffs):
+    return AffineIndex(constant, tuple(sorted(coeffs.items())))
+
+
+class TestGCD:
+    def test_constant_difference(self):
+        assert gcd_test_independent(form(1))
+        assert not gcd_test_independent(form(0))
+
+    def test_divisible(self):
+        # 2i - 2j + 1 = 0 has no integer solution (gcd 2, constant 1).
+        assert gcd_test_independent(form(1, i=2, j=-2))
+
+    def test_not_divisible_means_maybe(self):
+        # 2i + 3j + 1 = 0 has solutions (gcd 1 divides everything).
+        assert not gcd_test_independent(form(1, i=2, j=3))
+
+
+class TestBounds:
+    RANGES = {"i": IndexRange(0, 9), "j": IndexRange(0, 4)}
+
+    def test_positive_range(self):
+        # i + 1 over i in [0,9]: range [1, 10], excludes 0.
+        assert bounds_test_independent(form(1, i=1), self.RANGES)
+
+    def test_straddles_zero(self):
+        assert not bounds_test_independent(form(-3, i=1), self.RANGES)
+
+    def test_negative_coefficient(self):
+        # -i - 1 over i in [0,9]: [-10, -1], excludes 0.
+        assert bounds_test_independent(form(-1, i=-1), self.RANGES)
+
+    def test_unknown_variable_is_conservative(self):
+        assert not bounds_test_independent(form(5, q=1), self.RANGES)
+
+    def test_value_range(self):
+        assert value_range(form(2, i=1, j=-2), self.RANGES) == (2 - 8, 2 + 9)
+
+
+class TestSameIteration:
+    RANGES = {"i": IndexRange(0, 9)}
+
+    def test_same_form_aliases(self):
+        assert may_alias_same_iteration(form(0, i=1), form(0, i=1), self.RANGES)
+
+    def test_shifted_by_constant_is_independent(self):
+        """w[i] vs w[i+1] never collide in the same iteration — the key
+        disambiguation for sliding-window code like conv2d."""
+        assert not may_alias_same_iteration(
+            form(0, i=1), form(1, i=1), self.RANGES
+        )
+
+    def test_different_strides_may_alias(self):
+        # w[2i] vs w[i+3]: equal when i = 3.
+        assert may_alias_same_iteration(form(0, i=2), form(3, i=1), self.RANGES)
+
+    def test_bounds_save_the_day(self):
+        # w[2i] vs w[i+30]: equal only at i = 30, outside [0, 9].
+        assert not may_alias_same_iteration(
+            form(0, i=2), form(30, i=1), self.RANGES
+        )
+
+    def test_without_ranges_falls_back_to_gcd(self):
+        assert may_alias_same_iteration(form(0, i=2), form(30, i=1), None)
+        assert not may_alias_same_iteration(form(0, i=2), form(31, i=2), None)
+
+
+class TestAnyIteration:
+    RANGES = {"i": IndexRange(0, 9)}
+
+    def test_cross_iteration_alias(self):
+        """w[i] vs w[i+1] DO collide across iterations (i=4 vs i'=3)."""
+        assert may_alias_any_iteration(form(0, i=1), form(1, i=1), self.RANGES)
+
+    def test_disjoint_regions(self):
+        # w[i] (0..9) vs w[i+20] (20..29) never overlap.
+        assert not may_alias_any_iteration(
+            form(0, i=1), form(20, i=1), self.RANGES
+        )
+
+    def test_parity(self):
+        # w[2i] (even) vs w[2i+1] (odd) never overlap.
+        assert not may_alias_any_iteration(
+            form(0, i=2), form(1, i=2), self.RANGES
+        )
+
+
+@st.composite
+def alias_cases(draw):
+    c1 = draw(st.integers(-6, 6))
+    c2 = draw(st.integers(-6, 6))
+    a1 = draw(st.integers(-3, 3))
+    a2 = draw(st.integers(-3, 3))
+    b1 = draw(st.integers(-3, 3))
+    b2 = draw(st.integers(-3, 3))
+    hi_i = draw(st.integers(0, 6))
+    hi_j = draw(st.integers(0, 6))
+    return (
+        form(c1, i=a1, j=b1),
+        form(c2, i=a2, j=b2),
+        {"i": IndexRange(0, hi_i), "j": IndexRange(0, hi_j)},
+    )
+
+
+class TestSoundnessProperty:
+    @given(alias_cases())
+    @settings(max_examples=300, deadline=None)
+    def test_same_iteration_never_misses_a_real_alias(self, case):
+        """Brute force: if some (i, j) makes the two forms equal, the
+        test must report possible aliasing."""
+        a, b, ranges = case
+        truly_aliases = any(
+            a.evaluate({"i": i, "j": j}) == b.evaluate({"i": i, "j": j})
+            for i in range(ranges["i"].low, ranges["i"].high + 1)
+            for j in range(ranges["j"].low, ranges["j"].high + 1)
+        )
+        if truly_aliases:
+            assert may_alias_same_iteration(a, b, ranges)
+
+    @given(alias_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_any_iteration_never_misses_a_real_alias(self, case):
+        a, b, ranges = case
+        space = [
+            (i, j)
+            for i in range(ranges["i"].low, ranges["i"].high + 1)
+            for j in range(ranges["j"].low, ranges["j"].high + 1)
+        ]
+        truly_aliases = any(
+            a.evaluate({"i": i1, "j": j1}) == b.evaluate({"i": i2, "j": j2})
+            for (i1, j1) in space
+            for (i2, j2) in space
+        )
+        if truly_aliases:
+            assert may_alias_any_iteration(a, b, ranges)
+
+
+class TestSchedulerIntegration:
+    def test_disjoint_references_schedule_in_parallel(self):
+        """w[2*i] and w[2*i + 1] are provably disjoint, so the two
+        stores may share a cycle (two memory ports)."""
+        from repro.compiler import compile_w2
+        from repro.machine import simulate
+
+        src = """
+module m (a in, b out)
+float a[8];
+float b[8];
+cellprogram (cid : 0 : 0)
+begin
+    float t, w[8];
+    int i;
+    for i := 0 to 3 do begin
+        receive (L, X, t, a[i]);
+        w[2*i] := t;
+        w[2*i + 1] := t;
+    end;
+    for i := 0 to 7 do
+        send (R, X, w[i], b[i]);
+end
+"""
+        program = compile_w2(src)
+        data = np.arange(4.0)
+        result = simulate(program, {"a": data})
+        expected = np.repeat(data, 2)
+        assert np.allclose(result.outputs["b"], expected)
+        # The two stores share a cycle in at least one block.
+        store_block = list(program.cell_code.blocks())[0]
+        cycles = [
+            (cycle, len(ins.mem))
+            for cycle, ins in enumerate(store_block.instructions)
+            if ins.mem
+        ]
+        assert any(count == 2 for _, count in cycles)

@@ -1,0 +1,121 @@
+"""Tests for diagnostic quality: precise locations and actionable
+messages across the front end and back end."""
+
+import pytest
+
+from repro.compiler import compile_w2
+from repro.errors import MappingError, QueueOverflowError
+from repro.config import WarpConfig
+from repro.lang import (
+    LexError,
+    ParseError,
+    SemanticError,
+    SourceLocation,
+    UnsupportedProgramError,
+    parse_module,
+    analyze,
+)
+
+
+def location_of(excinfo) -> SourceLocation:
+    location = excinfo.value.location
+    assert location is not None
+    return location
+
+
+class TestLexerLocations:
+    def test_bad_character_location(self):
+        with pytest.raises(LexError) as excinfo:
+            parse_module("module m (a in)\nfloat a[1];\n@")
+        location = location_of(excinfo)
+        assert location.line == 3
+        assert location.column == 1
+
+    def test_unterminated_comment_points_at_start(self):
+        with pytest.raises(LexError) as excinfo:
+            parse_module("module m /* oops")
+        assert location_of(excinfo).column == 10
+
+
+class TestParserMessages:
+    def test_expected_token_named(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse_module("module (a in)")
+
+    def test_location_in_message_string(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_module("module m (a in) float a[1]; cellprogram (c : 0 : 0) begin end extra")
+        assert "line" in str(excinfo.value)
+
+    def test_direction_message(self):
+        src = """
+module m (a in)
+float a[1];
+cellprogram (c : 0 : 0)
+begin
+    float t;
+    receive (Q, X, t, a[0]);
+end
+"""
+        with pytest.raises(ParseError, match="'L' or 'R'"):
+            parse_module(src)
+
+
+class TestSemanticMessages:
+    def _analyze(self, body, decls="float t;\n    int i;"):
+        return analyze(
+            parse_module(
+                f"""
+module m (a in, b out)
+float a[8];
+float b[8];
+cellprogram (cid : 0 : 0)
+begin
+    {decls}
+{body}
+end
+"""
+            )
+        )
+
+    def test_undefined_name_is_named(self):
+        with pytest.raises(SemanticError, match="'mystery'"):
+            self._analyze("    t := mystery;")
+
+    def test_dynamic_bounds_cites_section(self):
+        with pytest.raises(UnsupportedProgramError, match="Section 5.1"):
+            self._analyze(
+                "    for i := 0 to j do t := 1.0;",
+                decls="float t;\n    int i, j;",
+            )
+
+    def test_nonaffine_mentions_iu(self):
+        with pytest.raises(UnsupportedProgramError, match="IU"):
+            self._analyze(
+                "    for i := 0 to 3 do t := w[i*i];",
+                decls="float t, w[16];\n    int i;",
+            )
+
+    def test_loop_index_as_value_explains_datapath(self):
+        with pytest.raises(SemanticError, match="integer datapath|no integer"):
+            self._analyze("    for i := 0 to 3 do t := i;")
+
+
+class TestBackendMessages:
+    def test_bidirectional_cites_section(self):
+        from repro.programs import bidirectional_cycle
+
+        with pytest.raises(MappingError, match="Section 5.1.1"):
+            compile_w2(bidirectional_cycle())
+
+    def test_queue_overflow_suggests_remedies(self):
+        from repro.programs import polynomial
+
+        with pytest.raises(QueueOverflowError, match="re-block|enlarge"):
+            compile_w2(polynomial(30, 10), config=WarpConfig(queue_depth=1))
+
+    def test_cell_count_in_error(self):
+        from repro.programs import polynomial
+
+        with pytest.raises(MappingError, match="10 cells"):
+            compile_w2(polynomial(20, 10), config=WarpConfig(n_cells=4))

@@ -1,0 +1,136 @@
+"""Tests for host transfer-descriptor lowering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_w2
+from repro.hostcodegen import (
+    BlockTransfer,
+    HostValueRef,
+    LiteralRun,
+    compress_sequence,
+    lower_input_program,
+    lower_output_program,
+    transfer_statistics,
+)
+from repro.lang import Channel
+from repro.programs import TABLE_7_1_PROGRAMS, conv2d, matmul, polynomial
+
+
+def ref(array=None, index=None, literal=None):
+    return HostValueRef(array, index, literal)
+
+
+def expand_tuples(program):
+    return [(r.array, r.flat_index, r.literal) for r in program.expand()]
+
+
+def tuples(refs):
+    return [(r.array, r.flat_index, r.literal) for r in refs]
+
+
+class TestCompression:
+    def test_contiguous_run_is_one_descriptor(self):
+        refs = [ref("a", i) for i in range(10)]
+        program = compress_sequence(Channel.X, refs)
+        assert program.ops == [BlockTransfer("a", 0, 1, 10)]
+
+    def test_strided_run(self):
+        refs = [ref("a", i) for i in range(0, 30, 3)]
+        program = compress_sequence(Channel.X, refs)
+        assert program.ops == [BlockTransfer("a", 0, 3, 10)]
+
+    def test_descending_run(self):
+        refs = [ref("a", i) for i in (9, 8, 7, 6)]
+        program = compress_sequence(Channel.X, refs)
+        assert program.ops == [BlockTransfer("a", 9, -1, 4)]
+
+    def test_literal_run(self):
+        refs = [ref(literal=0.0)] * 5
+        program = compress_sequence(Channel.Y, refs)
+        assert program.ops == [LiteralRun(0.0, 5)]
+
+    def test_mixed_arrays_split(self):
+        refs = [ref("a", 0), ref("a", 1), ref("b", 0), ref("b", 1)]
+        program = compress_sequence(Channel.X, refs)
+        arrays = [op.array for op in program.ops]
+        assert arrays == ["a", "b"]
+
+    def test_literal_value_change_splits_runs(self):
+        refs = [ref(literal=0.0)] * 3 + [ref(literal=1.0)] * 2
+        program = compress_sequence(Channel.X, refs)
+        assert program.ops == [LiteralRun(0.0, 3), LiteralRun(1.0, 2)]
+
+    def test_roundtrip_preserves_sequence(self):
+        refs = [
+            ref("a", 0),
+            ref("a", 5),
+            ref("a", 10),
+            ref(literal=2.0),
+            ref("b", 7),
+        ]
+        program = compress_sequence(Channel.X, refs)
+        assert expand_tuples(program) == tuples(refs)
+
+
+class TestOnCompiledPrograms:
+    @pytest.mark.parametrize(
+        "source",
+        [polynomial(40, 5), matmul(8, 4), conv2d(8, 6)],
+        ids=["polynomial", "matmul", "conv2d"],
+    )
+    def test_input_roundtrip(self, source):
+        program = compile_w2(source)
+        for channel in (Channel.X, Channel.Y):
+            lowered = lower_input_program(program.host_program, channel)
+            original = list(program.host_program.input_sequence(channel))
+            assert expand_tuples(lowered) == tuples(original)
+
+    def test_output_includes_discards_as_padding(self):
+        program = compile_w2(polynomial(12, 4))
+        lowered = lower_output_program(program.host_program, Channel.X)
+        # Polynomial's X outputs are all discards (forwarded stream).
+        assert all(isinstance(op, LiteralRun) for op in lowered.ops)
+        assert lowered.total_words == program.host_program.output_count(
+            Channel.X
+        )
+
+    def test_polynomial_feed_is_two_descriptors(self):
+        """Coefficients then data points: two contiguous blocks."""
+        program = compile_w2(polynomial(40, 5))
+        lowered = lower_input_program(program.host_program, Channel.X)
+        blocks = [op for op in lowered.ops if isinstance(op, BlockTransfer)]
+        assert len(blocks) == 2
+        assert blocks[0].array == "c" and blocks[1].array == "z"
+
+    def test_statistics(self):
+        program = compile_w2(polynomial(40, 5))
+        lowered = lower_input_program(program.host_program, Channel.X)
+        stats = transfer_statistics(lowered)
+        assert stats.words == 45
+        assert stats.compression > 10
+
+
+@st.composite
+def random_sequences(draw):
+    refs = []
+    for _ in range(draw(st.integers(0, 30))):
+        if draw(st.booleans()):
+            refs.append(
+                ref(
+                    draw(st.sampled_from(["a", "b"])),
+                    draw(st.integers(0, 40)),
+                )
+            )
+        else:
+            refs.append(ref(literal=float(draw(st.integers(0, 2)))))
+    return refs
+
+
+class TestRoundTripProperty:
+    @given(random_sequences())
+    @settings(max_examples=200, deadline=None)
+    def test_expand_inverts_compress(self, refs):
+        program = compress_sequence(Channel.X, refs)
+        assert expand_tuples(program) == tuples(refs)

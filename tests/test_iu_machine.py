@@ -1,0 +1,144 @@
+"""Tests for IU lowering and the IU register-machine executor.
+
+The strength-reduction loop is closed here: the planner's direct affine
+evaluation and the lowered add/subtract-only register machine must
+produce identical address streams for every program.
+"""
+
+import pytest
+
+from repro.compiler import compile_w2
+from repro.config import IUConfig, WarpConfig
+from repro.iucodegen import lower_iu_program
+from repro.iucodegen.isa import IUOp, IUOpKind, IUReg
+from repro.iucodegen.lower import LoweredBlock, LoweredIUProgram, LoweredLoop
+from repro.machine.iu_machine import IUMachine, TableOrderError, run_iu_program
+from repro.programs import conv2d, matmul
+
+MEMORY_HEAVY = """
+module m (a in, b out)
+float a[24];
+float b[24];
+cellprogram (cid : 0 : 0)
+begin
+    float t, w[24];
+    int i, j;
+    for i := 0 to 5 do
+        for j := 0 to 3 do begin
+            receive (L, X, t, a[4*i + j]);
+            w[4*i + j] := t;
+        end;
+    for i := 0 to 23 do
+        send (R, X, w[i] * 2.0, b[i]);
+end
+"""
+
+
+def _expected(program):
+    return [addr for _, _, addr in program.iu_program.emission_times()]
+
+
+class TestLoweringEquivalence:
+    @pytest.mark.parametrize(
+        "source",
+        [MEMORY_HEAVY, matmul(8, 4), matmul(12, 3), conv2d(8, 6)],
+        ids=["nested", "matmul8", "matmul12", "conv2d"],
+    )
+    def test_register_machine_matches_plan(self, source):
+        program = compile_w2(source)
+        lowered = lower_iu_program(program.iu_program)
+        assert run_iu_program(lowered) == _expected(program)
+
+    def test_unrolled_program_matches_too(self):
+        program = compile_w2(matmul(8, 4), unroll=4)
+        lowered = lower_iu_program(program.iu_program)
+        assert run_iu_program(lowered) == _expected(program)
+
+    def test_register_budget_respected(self):
+        program = compile_w2(matmul(8, 4))
+        lowered = lower_iu_program(program.iu_program)
+        indices = [reg.index for reg in lowered.register_names.values()]
+        indices += [reg.index for reg in lowered.scratch]
+        assert indices and max(indices) < 16
+
+    def test_prologue_initialises_every_register(self):
+        program = compile_w2(MEMORY_HEAVY)
+        lowered = lower_iu_program(program.iu_program)
+        initialised = {
+            op.dest.index for op in lowered.prologue if op.kind is IUOpKind.SETI
+        }
+        used = {reg.index for reg in lowered.register_names.values()}
+        assert used <= initialised
+
+
+class TestTableMemory:
+    def _tiny(self, source):
+        config = WarpConfig(iu=IUConfig(n_registers=1))
+        program = compile_w2(source, config=config)
+        lowered = lower_iu_program(program.iu_program, n_registers=1)
+        return program, lowered
+
+    SOURCE = MEMORY_HEAVY.replace(
+        "send (R, X, w[i] * 2.0, b[i]);",
+        "send (R, X, w[i] + w[23 - i], b[i]);",
+    )
+
+    def test_table_contents_in_consumption_order(self):
+        program, lowered = self._tiny(self.SOURCE)
+        assert program.iu_program.table_expressions
+        assert run_iu_program(lowered) == _expected(program)
+
+    def test_sequential_only_access_enforced(self):
+        _, lowered = self._tiny(self.SOURCE)
+        machine = IUMachine(lowered)
+        machine.state.table_cursor = len(lowered.table)
+        with pytest.raises(TableOrderError):
+            machine._execute(IUOp(IUOpKind.EMIT_TABLE))
+
+    def test_leftover_table_entries_detected(self):
+        lowered = LoweredIUProgram(
+            prologue=[],
+            items=[],
+            table=[1, 2, 3],
+            register_names={},
+            scratch=[],
+        )
+        machine = IUMachine(lowered)
+        machine.state.table_cursor = 1  # consumed one of three
+        with pytest.raises(TableOrderError):
+            machine.run()
+
+
+class TestLoweredStructure:
+    def test_boundary_ops_include_loop_test(self):
+        program = compile_w2(MEMORY_HEAVY)
+        lowered = lower_iu_program(program.iu_program)
+
+        def loops(items):
+            for item in items:
+                if isinstance(item, LoweredLoop):
+                    yield item
+                    yield from loops(item.body)
+
+        for loop in loops(lowered.items):
+            kinds = [op.kind for op in loop.boundary_ops]
+            assert kinds[-1] is IUOpKind.LOOP_TEST
+
+    def test_static_op_count_reported(self):
+        program = compile_w2(matmul(8, 4))
+        lowered = lower_iu_program(program.iu_program)
+        assert lowered.n_static_ops > 0
+
+    def test_emit_ops_only_in_blocks(self):
+        program = compile_w2(MEMORY_HEAVY)
+        lowered = lower_iu_program(program.iu_program)
+
+        def check(items):
+            for item in items:
+                if isinstance(item, LoweredBlock):
+                    continue
+                for op in item.boundary_ops + item.exit_ops:
+                    assert op.kind is not IUOpKind.EMIT
+                check(item.body)
+
+        check(lowered.items)

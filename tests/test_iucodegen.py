@@ -1,0 +1,228 @@
+"""Tests for IU code generation: allocation strategies (Table 6-5),
+strength reduction, deadlines, table memory, and loop signals."""
+
+import pytest
+
+from repro.compiler import compile_w2
+from repro.config import IUConfig, WarpConfig, CellConfig
+from repro.iucodegen import (
+    IULoop,
+    Strategy,
+    enumerate_allocation_options,
+    generate_iu_code,
+    plan_allocation,
+)
+from repro.iucodegen.allocation import LoopInfo
+from repro.ir import build_ir
+from repro.lang import analyze, parse_module
+from repro.lang.semantic import AffineIndex
+from repro.cellcodegen import generate_cell_code
+from repro.analysis import eliminate_dead_writes
+
+
+def table_6_5_expressions():
+    """a[i, j+1] and b[i+j, j] for N x N arrays, base addresses 0 and
+    N*N, as in Section 6.3.2's example (N symbolic -> use N = 32)."""
+    n = 32
+    a = AffineIndex(1, (("i", n), ("j", 1)))          # a + i*N + j + 1
+    b = AffineIndex(n * n, (("i", n), ("j", n + 1)))  # b + (i+j)*N + j
+    loops = [LoopInfo("i", 0, 1, n), LoopInfo("j", 0, 1, n)]
+    return [a, b], loops
+
+
+class TestAllocationStrategies:
+    def test_full_address_plan(self):
+        exprs, loops = table_6_5_expressions()
+        plan = plan_allocation(exprs, loops, Strategy.FULL_ADDRESS)
+        assert plan.n_registers == 2
+        assert plan.total_emission_adds == 0
+        # Both expressions vary in j: two updates in the inner loop.
+        assert plan.updates_per_innermost_iteration == 2
+
+    def test_shared_signature_plan(self):
+        exprs, loops = table_6_5_expressions()
+        # Add a third expression sharing a's coefficients: a[i, j+4].
+        n = 32
+        exprs = exprs + [AffineIndex(4, (("i", n), ("j", 1)))]
+        plan = plan_allocation(exprs, loops, Strategy.SHARED_SIGNATURE)
+        assert len(plan.registers) == 2  # a-shape shared, b separate
+        assert plan.emission_adds[0] == 0  # representative
+        assert plan.emission_adds[2] == 1  # +3 at emission
+
+    def test_per_product_plan(self):
+        exprs, loops = table_6_5_expressions()
+        plan = plan_allocation(exprs, loops, Strategy.PER_PRODUCT)
+        # Products: i*32 (shared), j*1, j*33 -> 3 registers + scratch.
+        assert len(plan.registers) == 3
+        assert plan.scratch_registers == 1
+        # a = i*32 + j + 1: two adds; b = i*32 + j*33 + 1024: two adds.
+        assert plan.emission_adds[0] == 2
+        assert plan.emission_adds[1] == 2
+
+    def test_trade_off_table_shape(self):
+        """Reproduce Table 6-5's trade-off: register count falls as
+        per-emission arithmetic rises."""
+        exprs, loops = table_6_5_expressions()
+        plans = enumerate_allocation_options(exprs, loops)
+        registers = [p.n_registers for p in plans]
+        arithmetic = [p.total_emission_adds for p in plans]
+        assert registers[0] >= registers[-1] - 2  # full-address is register-hungry
+        assert arithmetic[0] == 0
+        assert arithmetic[-1] > arithmetic[0]
+
+    def test_updates_and_exit_wraps_cancel(self):
+        """Over a loop's full trip, the iteration updates plus the exit
+        wrap leave a register unchanged (so outer iterations restart
+        correctly)."""
+        exprs, loops = table_6_5_expressions()
+        plan = plan_allocation(exprs, loops, Strategy.FULL_ADDRESS)
+        for loop_info in loops:
+            for (reg, delta), (reg2, wrap) in zip(
+                plan.updates.get(loop_info.var, []),
+                plan.exit_updates.get(loop_info.var, []),
+            ):
+                assert reg == reg2
+                assert delta * loop_info.trip + wrap == 0
+
+
+SRC_ARRAY = """
+module m (a in, b out)
+float a[12];
+float b[12];
+cellprogram (cid : 0 : 0)
+begin
+    float t, w[12];
+    int i;
+    for i := 0 to 11 do begin
+        receive (L, X, t, a[i]);
+        w[i] := t;
+    end;
+    for i := 0 to 11 do
+        send (R, X, w[i] + 1.0, b[i]);
+end
+"""
+
+
+def iu_for(src, iu_config=None):
+    ir = build_ir(analyze(parse_module(src)))
+    eliminate_dead_writes(ir.tree)
+    code = generate_cell_code(ir, CellConfig())
+    return code, generate_iu_code(code, iu_config or IUConfig())
+
+
+class TestIUCodegen:
+    def test_emissions_meet_deadlines(self):
+        _, iu = iu_for(SRC_ARRAY)
+        for emit, deadline, _addr in iu.emission_times():
+            assert emit <= deadline
+
+    def test_emissions_fifo_ordered(self):
+        _, iu = iu_for(SRC_ARRAY)
+        times = [emit for emit, _, _ in iu.emission_times()]
+        assert times == sorted(times)
+
+    def test_addresses_match_affine_values(self):
+        code, iu = iu_for(SRC_ARRAY)
+        addresses = [addr for _, _, addr in iu.emission_times()]
+        # w occupies [0, 12); first loop stores w[0..11], second loads.
+        assert addresses == list(range(12)) * 2
+
+    def test_register_machine_equivalence(self):
+        """Executing the induction-register plan literally produces the
+        same address sequence as direct affine evaluation."""
+        code, iu = iu_for(SRC_ARRAY)
+        plan = iu.plan
+        # Initialise registers at loop-var start values.
+        env = {}
+        regs = {
+            name: sub.evaluate({v: _start_of(iu, v) for v in sub.variables})
+            for name, sub in plan.registers.items()
+        }
+        produced = []
+
+        def walk(items):
+            for item in items:
+                if isinstance(item, IULoop):
+                    for i in range(item.trip):
+                        env[item.var] = item.start + i * item.step
+                        walk(item.body)
+                        for reg, delta in item.boundary_updates:
+                            regs[reg] += delta
+                    for reg, wrap in item.exit_updates:
+                        regs[reg] += wrap
+                else:
+                    for emission in item.emissions:
+                        names, const = plan.compositions[emission.expr_index]
+                        produced.append(sum(regs[n] for n in names) + const)
+
+        walk(iu.items)
+        expected = [addr for _, _, addr in iu.emission_times()]
+        assert produced == expected
+
+    def test_loop_unrolling_for_short_bodies(self):
+        src = """
+module m (a in, b out)
+float a[8];
+float b[8];
+cellprogram (cid : 0 : 1)
+begin
+    float t;
+    int i;
+    for i := 0 to 7 do begin
+        receive (L, X, t, a[i]);
+        send (R, X, t, b[i]);
+    end;
+end
+"""
+        code, iu = iu_for(src)
+        loops = [item for item in iu.items if isinstance(item, IULoop)]
+        assert loops
+        body_len = code.total_cycles // loops[0].trip
+        if body_len < IUConfig().loop_test_cycles:
+            assert loops[0].unrolled_tail >= 1
+
+    def test_register_overflow_falls_back_to_table(self):
+        """With a tiny IU register file, some expressions move to table
+        memory (counted per dynamic access)."""
+        tiny = IUConfig(n_registers=1)
+        src = SRC_ARRAY.replace(
+            "send (R, X, w[i] + 1.0, b[i]);",
+            "send (R, X, w[i] + w[11 - i], b[i]);",
+        )
+        _, iu = iu_for(src, tiny)
+        assert iu.table_expressions
+        assert iu.table_entries > 0
+
+    def test_iu_ucode_metric_positive(self):
+        _, iu = iu_for(SRC_ARRAY)
+        assert iu.n_instructions > 0
+
+
+def _start_of(iu, var):
+    """Find the start value of loop ``var`` in the IU tree."""
+    result = {}
+
+    def walk(items):
+        for item in items:
+            if isinstance(item, IULoop):
+                result[item.var] = item.start
+                walk(item.body)
+
+    walk(iu.items)
+    return result[var]
+
+
+class TestDrivenByCompiler:
+    def test_matmul_exercises_iu(self):
+        from repro.programs import matmul
+
+        program = compile_w2(matmul(8, 4))
+        emissions = list(program.iu_program.emission_times())
+        assert emissions
+        assert all(emit <= deadline for emit, deadline, _ in emissions)
+
+    def test_streaming_programs_need_no_addresses(self):
+        from repro.programs import polynomial
+
+        program = compile_w2(polynomial(10, 5))
+        assert not list(program.iu_program.emission_times())

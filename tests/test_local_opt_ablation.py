@@ -1,0 +1,53 @@
+"""Tests for the local-optimisation toggle (ablation support)."""
+
+import numpy as np
+
+from repro.compiler import compile_w2
+from repro.machine import simulate
+from repro.programs import colorseg, polynomial
+
+
+class TestToggle:
+    CHAIN = """
+module chain (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 0)
+begin
+    float t;
+    int i;
+    for i := 0 to 3 do begin
+        receive (L, X, t, a[i]);
+        send (R, X, t*1.0 + (2.0 - 2.0) + ((t + 1.0) + 2.0) + 3.0, b[i]);
+    end;
+end
+"""
+
+    def test_results_identical_up_to_rounding(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal(4)
+        with_opt = simulate(compile_w2(self.CHAIN), {"a": data})
+        without = simulate(
+            compile_w2(self.CHAIN, local_opt=False), {"a": data}
+        )
+        assert np.allclose(with_opt.outputs["b"], without.outputs["b"])
+
+    def test_optimised_is_never_slower(self):
+        for source in (self.CHAIN, polynomial(24, 4), colorseg(6, 4, 3)):
+            fast = compile_w2(source)
+            slow = compile_w2(source, local_opt=False)
+            assert fast.cell_code.total_cycles <= slow.cell_code.total_cycles
+
+    def test_folding_removes_arithmetic(self):
+        fast = compile_w2(self.CHAIN)
+        slow = compile_w2(self.CHAIN, local_opt=False)
+        assert fast.metrics.cell_ucode < slow.metrics.cell_ucode
+
+    def test_unoptimised_still_correct_on_suite(self, program_suite):
+        for name, source, inputs, reference in program_suite[:4]:
+            program = compile_w2(source, local_opt=False)
+            result = simulate(program, inputs)
+            for array, values in reference(inputs).items():
+                assert np.allclose(
+                    result.outputs[array][: len(values)], values
+                ), f"{name} (local_opt=False)"

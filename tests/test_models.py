@@ -1,0 +1,89 @@
+"""Tests for the SIMD vs skewed computation models (Section 3)."""
+
+import pytest
+
+from repro.models import (
+    StageSpec,
+    compare_models,
+    compare_parallel_mode,
+    figure_3_1_comparison,
+    simd_cell_latency,
+    skewed_cell_latency,
+)
+
+
+class TestFigure31:
+    def test_paper_example_latencies(self):
+        """4-step stage, step 4 needs the neighbour's step-4 result:
+        'latency through each cell is 4 cycles in the SIMD model, but
+        only one cycle in the skewed model'."""
+        comparison = figure_3_1_comparison()
+        assert comparison.simd_latency_per_cell == 4
+        assert comparison.skewed_latency_per_cell == 1
+        assert comparison.latency_ratio == 4.0
+
+    def test_totals(self):
+        comparison = figure_3_1_comparison(n_cells=3, n_iterations=3)
+        # Fill: (cells-1)*latency; then one iteration per 4 cycles.
+        assert comparison.skewed_total == 2 * 1 + 4 * 3
+        assert comparison.simd_total == 2 * 4 + 4 * 3
+
+    def test_skewed_never_slower(self):
+        for n_steps in range(1, 8):
+            for produce in range(1, n_steps + 1):
+                for consume in range(1, n_steps + 1):
+                    spec = StageSpec(n_steps, produce, consume)
+                    assert skewed_cell_latency(spec) <= max(
+                        simd_cell_latency(spec), 1
+                    )
+
+
+class TestStageSpecEdges:
+    def test_early_produce_late_consume(self):
+        """Producer finishes before the consumer's step even starts:
+        SIMD pays nothing extra, skewed needs only the transfer cycle."""
+        spec = StageSpec(n_steps=6, produce_step=1, consume_step=5)
+        assert simd_cell_latency(spec) == 0
+        assert skewed_cell_latency(spec) == 1
+
+    def test_late_produce_early_consume(self):
+        """Worst case: produced at the end, needed at the start."""
+        spec = StageSpec(n_steps=6, produce_step=6, consume_step=1)
+        assert simd_cell_latency(spec) == 6
+        assert skewed_cell_latency(spec) == 6
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(n_steps=4, produce_step=5, consume_step=1)
+        with pytest.raises(ValueError):
+            StageSpec(n_steps=4, produce_step=1, consume_step=0)
+
+    def test_ratio_grows_with_stage_size(self):
+        """The paper: 'This difference in latency can be significant when
+        a nontrivial amount of computation is involved in each stage.'"""
+        ratios = []
+        for n_steps in (2, 8, 32):
+            comparison = compare_models(
+                StageSpec(n_steps, n_steps, n_steps), n_cells=10, n_iterations=1
+            )
+            ratios.append(comparison.latency_ratio)
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > ratios[0]
+
+
+class TestParallelMode:
+    def test_skewed_starts_earlier(self):
+        comparison = compare_parallel_mode(
+            n_cells=10, items_per_cell=100, compute_cycles=500
+        )
+        assert comparison.skewed_starts[0] < comparison.simd_starts[0]
+        assert comparison.skewed_starts[-1] == comparison.simd_starts[-1]
+
+    def test_first_result_speedup(self):
+        comparison = compare_parallel_mode(
+            n_cells=10, items_per_cell=100, compute_cycles=100
+        )
+        # SIMD waits for all 1000 loads; skewed cell 0 starts after 100.
+        assert comparison.simd_first_result == 1100
+        assert comparison.skewed_first_result == 200
+        assert comparison.first_result_speedup > 5

@@ -1,0 +1,209 @@
+"""Unit tests for the W2 parser."""
+
+import pytest
+
+from repro.lang import (
+    ArrayRef,
+    Assign,
+    BinaryExpr,
+    BinaryOp,
+    Call,
+    Channel,
+    Compound,
+    Direction,
+    For,
+    If,
+    IntLiteral,
+    ParamDirection,
+    ParseError,
+    Receive,
+    ScalarType,
+    Send,
+    UnaryExpr,
+    UnaryOp,
+    VarRef,
+    parse_expression,
+    parse_module,
+)
+
+MINIMAL = """
+module tiny (din in, dout out)
+float din[4];
+float dout[4];
+cellprogram (cid : 0 : 1)
+begin
+    float t;
+    int i;
+    for i := 0 to 3 do begin
+        receive (L, X, t, din[i]);
+        send (R, X, t, dout[i]);
+    end;
+end
+"""
+
+
+class TestModuleStructure:
+    def test_minimal_module(self):
+        module = parse_module(MINIMAL)
+        assert module.name == "tiny"
+        assert [p.direction for p in module.params] == [
+            ParamDirection.IN,
+            ParamDirection.OUT,
+        ]
+        assert module.cellprogram.n_cells == 2
+
+    def test_host_decl_shapes(self):
+        module = parse_module(MINIMAL)
+        assert module.host_decl("din").dimensions == (4,)
+        assert module.host_decl("din").scalar_type is ScalarType.FLOAT
+
+    def test_multidim_decl(self):
+        src = MINIMAL.replace("float din[4];", "float din[4, 3];")
+        module = parse_module(src)
+        assert module.host_decl("din").dimensions == (4, 3)
+        assert module.host_decl("din").element_count == 12
+
+    def test_functions_and_call(self):
+        src = """
+module f (a in, b out)
+float a[2]; float b[2];
+cellprogram (c : 0 : 0)
+begin
+    function work
+    begin
+        float t;
+        receive (L, X, t, a[0]);
+        send (R, X, t, b[0]);
+    end
+    call work;
+end
+"""
+        module = parse_module(src)
+        assert len(module.cellprogram.functions) == 1
+        assert isinstance(module.cellprogram.body[0], Call)
+
+    def test_empty_cell_range_rejected(self):
+        src = MINIMAL.replace("(cid : 0 : 1)", "(cid : 3 : 1)")
+        with pytest.raises(ParseError):
+            parse_module(src)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module(MINIMAL + "\nextra")
+
+
+class TestStatements:
+    def test_receive_fields(self):
+        module = parse_module(MINIMAL)
+        loop = module.cellprogram.body[0]
+        assert isinstance(loop, For)
+        body = loop.body
+        assert isinstance(body, Compound)
+        recv = body.statements[0]
+        assert isinstance(recv, Receive)
+        assert recv.direction is Direction.LEFT
+        assert recv.channel is Channel.X
+        assert isinstance(recv.external, ArrayRef)
+
+    def test_send_without_external(self):
+        src = MINIMAL.replace("send (R, X, t, dout[i]);", "send (R, X, t);")
+        module = parse_module(src)
+        loop = module.cellprogram.body[0]
+        send = loop.body.statements[1]
+        assert isinstance(send, Send)
+        assert send.external is None
+
+    def test_if_else(self):
+        expr = """
+module m (a in, b out)
+float a[1]; float b[1];
+cellprogram (c : 0 : 0)
+begin
+    float x, y;
+    receive (L, X, x, a[0]);
+    if x < 1.0 then
+        y := 1.0;
+    else
+        y := 2.0;
+    send (R, X, y, b[0]);
+end
+"""
+        module = parse_module(expr)
+        stmt = module.cellprogram.body[1]
+        assert isinstance(stmt, If)
+        assert stmt.else_body is not None
+
+    def test_downto_loop(self):
+        src = MINIMAL.replace("for i := 0 to 3", "for i := 3 downto 0")
+        module = parse_module(src)
+        loop = module.cellprogram.body[0]
+        assert loop.downto
+
+    def test_bad_direction_rejected(self):
+        src = MINIMAL.replace("receive (L, X", "receive (Q, X")
+        with pytest.raises(ParseError):
+            parse_module(src)
+
+    def test_bad_channel_rejected(self):
+        src = MINIMAL.replace("receive (L, X", "receive (L, Z")
+        with pytest.raises(ParseError):
+            parse_module(src)
+
+    def test_missing_semicolon_rejected(self):
+        src = MINIMAL.replace("send (R, X, t, dout[i]);", "send (R, X, t, dout[i])")
+        with pytest.raises(ParseError):
+            parse_module(src)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, BinaryExpr)
+        assert expr.op is BinaryOp.ADD
+        assert isinstance(expr.right, BinaryExpr)
+        assert expr.right.op is BinaryOp.MUL
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op is BinaryOp.MUL
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op is BinaryOp.SUB
+        assert isinstance(expr.left, BinaryExpr)
+        assert isinstance(expr.right, VarRef)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a * b")
+        assert expr.op is BinaryOp.MUL
+        assert isinstance(expr.left, UnaryExpr)
+        assert expr.left.op is UnaryOp.NEG
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse_expression("a + b <= c * d")
+        assert expr.op is BinaryOp.LE
+
+    def test_boolean_precedence(self):
+        expr = parse_expression("a < b and c < d or e < f")
+        assert expr.op is BinaryOp.OR
+        assert expr.left.op is BinaryOp.AND
+
+    def test_not(self):
+        expr = parse_expression("not a < b")
+        assert isinstance(expr, UnaryExpr)
+        assert expr.op is UnaryOp.NOT
+
+    def test_multidim_subscript(self):
+        expr = parse_expression("a[i, j + 1]")
+        assert isinstance(expr, ArrayRef)
+        assert len(expr.indices) == 2
+        assert isinstance(expr.indices[1], BinaryExpr)
+
+    def test_int_literal(self):
+        expr = parse_expression("42")
+        assert isinstance(expr, IntLiteral)
+        assert expr.value == 42
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a + b")

@@ -1,0 +1,225 @@
+"""Unit tests for the AST-level reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HostDataError
+from repro.lang import analyze, parse_module
+from repro.machine import interpret
+
+
+def run(source, inputs):
+    return interpret(analyze(parse_module(source)), inputs)
+
+
+class TestBasics:
+    def test_single_cell_passthrough(self):
+        src = """
+module m (a in, b out)
+float a[3];
+float b[3];
+cellprogram (cid : 0 : 0)
+begin
+    float t;
+    int i;
+    for i := 0 to 2 do begin
+        receive (L, X, t, a[i]);
+        send (R, X, t, b[i]);
+    end;
+end
+"""
+        outputs = run(src, {"a": np.array([1.0, 2.0, 3.0])})
+        assert list(outputs["b"]) == [1.0, 2.0, 3.0]
+
+    def test_arithmetic_and_literals(self):
+        src = """
+module m (a in, b out)
+float a[2];
+float b[2];
+cellprogram (cid : 0 : 0)
+begin
+    float t;
+    int i;
+    for i := 0 to 1 do begin
+        receive (L, X, t, a[i]);
+        send (R, X, (t + 1.0) * 2.0 - 0.5, b[i]);
+    end;
+end
+"""
+        outputs = run(src, {"a": np.array([1.0, -2.0])})
+        assert list(outputs["b"]) == [3.5, -2.5]
+
+    def test_division(self):
+        src = """
+module m (a in, b out)
+float a[1];
+float b[1];
+cellprogram (cid : 0 : 0)
+begin
+    float t;
+    receive (L, X, t, a[0]);
+    send (R, X, t / 4.0, b[0]);
+end
+"""
+        outputs = run(src, {"a": np.array([10.0])})
+        assert outputs["b"][0] == 2.5
+
+    def test_true_branching_semantics(self):
+        """The interpreter branches (doesn't if-convert): both arms'
+        side effects are exclusive."""
+        src = """
+module m (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 0)
+begin
+    float t, u;
+    int i;
+    for i := 0 to 3 do begin
+        receive (L, X, t, a[i]);
+        if t >= 0.0 then u := 1.0; else u := 0.0 - 1.0;
+        send (R, X, u, b[i]);
+    end;
+end
+"""
+        outputs = run(src, {"a": np.array([1.0, -2.0, 0.0, -0.1])})
+        assert list(outputs["b"]) == [1.0, -1.0, 1.0, -1.0]
+
+    def test_cell_local_arrays(self):
+        src = """
+module m (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 0)
+begin
+    float t, buf[4];
+    int i;
+    for i := 0 to 3 do begin
+        receive (L, X, t, a[i]);
+        buf[3 - i] := t;
+    end;
+    for i := 0 to 3 do
+        send (R, X, buf[i], b[i]);
+end
+"""
+        outputs = run(src, {"a": np.array([1.0, 2.0, 3.0, 4.0])})
+        assert list(outputs["b"]) == [4.0, 3.0, 2.0, 1.0]
+
+    def test_downto(self):
+        src = """
+module m (a in, b out)
+float a[3];
+float b[3];
+cellprogram (cid : 0 : 0)
+begin
+    float t;
+    int i;
+    for i := 2 downto 0 do begin
+        receive (L, X, t, a[i]);
+        send (R, X, t, b[2 - i]);
+    end;
+end
+"""
+        outputs = run(src, {"a": np.array([1.0, 2.0, 3.0])})
+        assert list(outputs["b"]) == [3.0, 2.0, 1.0]
+
+
+class TestMultiCell:
+    def test_streams_connect_cells(self):
+        src = """
+module m (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 2)
+begin
+    float t;
+    int i;
+    for i := 0 to 3 do begin
+        receive (L, X, t, a[i]);
+        send (R, X, t + 1.0, b[i]);
+    end;
+end
+"""
+        outputs = run(src, {"a": np.zeros(4)})
+        assert list(outputs["b"]) == [3.0] * 4  # +1 per cell, 3 cells
+
+    def test_unbalanced_streams_detected(self):
+        src = """
+module m (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 1)
+begin
+    float t;
+    int i;
+    for i := 0 to 3 do
+        receive (L, X, t, a[i]);
+    for i := 0 to 1 do
+        send (R, X, t, b[i]);
+end
+"""
+        with pytest.raises(HostDataError, match="empty stream"):
+            run(src, {"a": np.zeros(4)})
+
+    def test_receive_without_external_on_first_cell(self):
+        src = """
+module m (a in, b out)
+float a[2];
+float b[2];
+cellprogram (cid : 0 : 0)
+begin
+    float t;
+    receive (L, X, t);
+    send (R, X, t, b[0]);
+end
+"""
+        with pytest.raises(HostDataError, match="no external"):
+            run(src, {"a": np.zeros(2)})
+
+
+class TestFunctionsAndBooleans:
+    def test_function_called_twice(self):
+        src = """
+module m (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 0)
+begin
+    function half
+    begin
+        float t;
+        int i;
+        for i := 0 to 1 do begin
+            receive (L, X, t, a[i]);
+            send (R, X, t * 0.5, b[i]);
+        end;
+    end
+    call half;
+    call half;
+end
+"""
+        # NOTE: both calls execute the same externals (a[0..1] -> b[0..1]);
+        # the second call overwrites the first with identical values.
+        outputs = run(src, {"a": np.array([2.0, 4.0, 0.0, 0.0])})
+        assert list(outputs["b"][:2]) == [1.0, 2.0]
+
+    def test_boolean_operators(self):
+        src = """
+module m (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 0)
+begin
+    float t, u;
+    int i;
+    for i := 0 to 3 do begin
+        receive (L, X, t, a[i]);
+        u := 0.0;
+        if t > 0.0 and t < 2.0 or not (t <= 10.0) then
+            u := 1.0;
+        send (R, X, u, b[i]);
+    end;
+end
+"""
+        outputs = run(src, {"a": np.array([1.0, 5.0, 11.0, -1.0])})
+        assert list(outputs["b"]) == [1.0, 0.0, 1.0, 0.0]

@@ -1,0 +1,174 @@
+"""Regression tests for bugs found during development (mostly by the
+property-based fuzzers).  Each test documents the failure mode."""
+
+import numpy as np
+
+from repro.compiler import compile_w2
+from repro.lang import analyze, parse_module
+from repro.machine import interpret, simulate
+
+
+def check(source, inputs):
+    expected = interpret(analyze(parse_module(source)), inputs)
+    result = simulate(compile_w2(source), inputs)
+    for name in result.outputs:
+        assert np.allclose(result.outputs[name], expected[name]), name
+    return result
+
+
+class TestFoldReachabilityCycle:
+    def test_shift_chain(self):
+        """Found by the end-to-end fuzzer: ``v1 := v2; v2 := v0`` with a
+        use of both new values created a cycle between the recv folded
+        onto v2's register and the adder consuming v2's old value."""
+        source = """
+module fuzz (a in, b out)
+float a[1];
+float b[1];
+cellprogram (cid : 0 : 0)
+begin
+    float v0, v1, v2;
+    int i;
+    v1 := 0.0;
+    v2 := 0.0;
+    for i := 0 to 0 do begin
+        receive (L, X, v0, a[i]);
+        v1 := v2;
+        v2 := v0;
+        send (R, X, v0 + v1 + v2, b[i]);
+    end;
+end
+"""
+        check(source, {"a": np.array([2.0])})
+
+
+class TestRegisterSwap:
+    def test_two_way_swap(self):
+        """``a := b; b := a`` through pinned registers forms an
+        anti-dependence cycle; the scheduler must break it with a saving
+        move (a parallel-copy temporary)."""
+        source = """
+module swap (din in, dout out)
+float din[6];
+float dout[6];
+cellprogram (cid : 0 : 0)
+begin
+    float a, b, t, x;
+    int i;
+    a := 1.0;
+    b := 2.0;
+    for i := 0 to 5 do begin
+        receive (L, X, x, din[i]);
+        send (R, X, x + a - b, dout[i]);
+        t := a;
+        a := b;
+        b := t;
+    end;
+end
+"""
+        result = check(source, {"din": np.arange(6.0)})
+        assert list(result.outputs["dout"]) == [-1.0, 2.0, 1.0, 4.0, 3.0, 6.0]
+
+    def test_three_way_rotation(self):
+        source = """
+module rot (din in, dout out)
+float din[6];
+float dout[6];
+cellprogram (cid : 0 : 0)
+begin
+    float a, b, c, t, x;
+    int i;
+    a := 1.0;
+    b := 2.0;
+    c := 3.0;
+    for i := 0 to 5 do begin
+        receive (L, X, x, din[i]);
+        send (R, X, x*a + b - c, dout[i]);
+        t := a;
+        a := b;
+        b := c;
+        c := t;
+    end;
+end
+"""
+        check(source, {"din": np.linspace(-1, 1, 6)})
+
+
+class TestSharedLoopVariable:
+    def test_two_loops_one_index(self):
+        """Found by the IU register-machine equivalence test: two loops
+        driven by the same declared ``int i`` merged their induction
+        updates when keyed by variable name; IR loop variables are now
+        unique per loop."""
+        source = """
+module m (a in, b out)
+float a[24];
+float b[24];
+cellprogram (cid : 0 : 0)
+begin
+    float t, w[24];
+    int i, j;
+    for i := 0 to 5 do
+        for j := 0 to 3 do begin
+            receive (L, X, t, a[4*i + j]);
+            w[4*i + j] := t;
+        end;
+    for i := 0 to 23 do
+        send (R, X, w[i], b[i]);
+end
+"""
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal(24)
+        result = check(source, {"a": data})
+        assert np.allclose(result.outputs["b"], data)
+
+        # And the lowered IU machine agrees with the plan.
+        from repro.iucodegen import lower_iu_program
+        from repro.machine.iu_machine import run_iu_program
+
+        program = compile_w2(source)
+        lowered = lower_iu_program(program.iu_program)
+        expected = [addr for _, _, addr in program.iu_program.emission_times()]
+        assert run_iu_program(lowered) == expected
+
+
+class TestIfConversionOldValue:
+    def test_one_sided_if_on_fresh_block_variable(self):
+        """A variable assigned in only one arm, not yet read in the
+        block, must keep its register value on the other path (an early
+        version selected the new value unconditionally)."""
+        source = """
+module m (a in, b out)
+float a[4];
+float b[4];
+cellprogram (cid : 0 : 0)
+begin
+    float v, cnt;
+    int i;
+    cnt := 0.0;
+    for i := 0 to 3 do begin
+        receive (L, X, v, a[i]);
+        if v > 0.0 then
+            cnt := cnt + 1.0;
+        send (R, X, cnt, b[i]);
+    end;
+end
+"""
+        result = check(source, {"a": np.array([1.0, -1.0, 2.0, -2.0])})
+        assert list(result.outputs["b"]) == [1.0, 1.0, 2.0, 2.0]
+
+
+class TestConservationPad:
+    def test_unconsumed_pads_are_legal(self):
+        """The Figure 4-1 idiom sends one extra item per distribution
+        round; the last cell's pads are never consumed and must not trip
+        any audit."""
+        from repro.programs import polynomial
+
+        rng = np.random.default_rng(1)
+        program = compile_w2(polynomial(8, 4))
+        result = simulate(
+            program,
+            {"z": rng.uniform(-1, 1, 8), "c": rng.standard_normal(4)},
+        )
+        assert result.total_cycles > 0

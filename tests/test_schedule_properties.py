@@ -1,0 +1,161 @@
+"""Property-based verification of the block scheduler.
+
+Random DAGs are generated and scheduled; every schedule must satisfy
+all the machine constraints: per-cycle resource capacities, operand
+latencies, per-queue ordering, memory ordering, and write-after-read
+anti-dependences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cellcodegen.isa import ALU_OPS, MPY_OPS
+from repro.cellcodegen.schedule import schedule_block
+from repro.config import CellConfig
+from repro.ir.dag import Dag, MemRef, OpKind, QueueRef
+from repro.lang.ast import Channel, Direction
+from repro.lang.semantic import affine_const
+
+CFG = CellConfig()
+
+IN_Q = QueueRef(Direction.LEFT, Channel.X)
+IN_QY = QueueRef(Direction.LEFT, Channel.Y)
+OUT_Q = QueueRef(Direction.RIGHT, Channel.X)
+
+
+@st.composite
+def random_dags(draw):
+    """A random but well-formed block DAG with queue ops, arithmetic,
+    memory traffic and scalar reads/writes."""
+    dag = Dag()
+    values = [dag.const(1.5), dag.read("s0"), dag.read("s1")]
+    last_recv = {IN_Q: None, IN_QY: None}
+    last_send = None
+    stores = []
+    n_ops = draw(st.integers(3, 25))
+    for _ in range(n_ops):
+        choice = draw(st.integers(0, 5))
+        if choice == 0:
+            queue = draw(st.sampled_from([IN_Q, IN_QY]))
+            node = dag.recv(queue)
+            if last_recv[queue] is not None:
+                dag.add_order_edge(last_recv[queue], node)
+            last_recv[queue] = node
+            values.append(node)
+        elif choice == 1 and len(values) >= 1:
+            value = draw(st.sampled_from(values))
+            node = dag.send(OUT_Q, value)
+            if last_send is not None:
+                dag.add_order_edge(last_send, node)
+            last_send = node
+        elif choice == 2:
+            index = draw(st.integers(0, 3))
+            node = dag.load(MemRef("arr", affine_const(index)))
+            for store in stores:
+                dag.add_order_edge(store, node)
+            values.append(node)
+        elif choice == 3 and len(values) >= 1:
+            value = draw(st.sampled_from(values))
+            node = dag.store(MemRef("arr", affine_const(draw(st.integers(0, 3)))), value)
+            stores.append(node)
+        elif choice in (4, 5) and len(values) >= 2:
+            op = draw(
+                st.sampled_from(
+                    [OpKind.FADD, OpKind.FSUB, OpKind.FMUL, OpKind.CMP_LT]
+                )
+            )
+            left = draw(st.sampled_from(values))
+            right = draw(st.sampled_from(values))
+            values.append(dag.pure(op, left, right))
+    # Block-final scalar writes (the builder's close_block invariant:
+    # WRITEs are the last actions and anti-edge against the entry READ).
+    for var in ("s0", "s1"):
+        if draw(st.booleans()):
+            value = draw(st.sampled_from(values))
+            write = dag.write(var, value)
+            read_id = dag._value_numbers.get((OpKind.READ, (), var))
+            if read_id is not None:
+                dag.add_order_edge(dag.nodes[read_id], write)
+    # Anchor: make sure something is observable.
+    if not dag.effects:
+        dag.send(OUT_Q, values[0])
+    return dag
+
+
+def _resource_of(item):
+    if item.kind in ("deq", "enq"):
+        return f"{item.kind}:{item.node.attr}"
+    return item.kind
+
+
+class TestScheduleInvariants:
+    @given(random_dags())
+    @settings(max_examples=150, deadline=None)
+    def test_resource_capacities(self, dag):
+        schedule = schedule_block(dag, CFG)
+        usage = {}
+        for item in schedule.items.values():
+            key = (_resource_of(item), item.cycle)
+            usage[key] = usage.get(key, 0) + 1
+        for (resource, _cycle), count in usage.items():
+            if resource == "mem":
+                assert count <= CFG.mem_ports
+            else:
+                assert count <= 1
+
+    @given(random_dags())
+    @settings(max_examples=150, deadline=None)
+    def test_value_latencies(self, dag):
+        schedule = schedule_block(dag, CFG)
+        for item in schedule.items.values():
+            for operand in item.operands:
+                producer_item_id = (
+                    schedule.node_to_item.get(operand)
+                    if operand >= 0
+                    else -operand - 1
+                )
+                if producer_item_id is None or producer_item_id == item.item_id:
+                    continue
+                producer = schedule.items[producer_item_id]
+                node = dag.nodes.get(operand)
+                if node is not None and node.op in (OpKind.CONST, OpKind.READ):
+                    continue
+                assert item.cycle >= producer.cycle + producer.latency
+
+    @given(random_dags())
+    @settings(max_examples=150, deadline=None)
+    def test_every_op_scheduled_exactly_once(self, dag):
+        schedule = schedule_block(dag, CFG)
+        alive = {
+            n.node_id
+            for n in dag.live_nodes()
+            if n.op
+            in (ALU_OPS | MPY_OPS | {OpKind.LOAD, OpKind.STORE, OpKind.RECV, OpKind.SEND})
+        }
+        scheduled_nodes = {
+            item.node.node_id
+            for item in schedule.items.values()
+            if item.node is not None
+        }
+        assert alive <= scheduled_nodes
+        assert all(item.cycle >= 0 for item in schedule.items.values())
+
+    @given(random_dags())
+    @settings(max_examples=150, deadline=None)
+    def test_queue_order_preserved(self, dag):
+        schedule = schedule_block(dag, CFG)
+        for queue in (IN_Q, IN_QY, OUT_Q):
+            for kind in (OpKind.RECV, OpKind.SEND):
+                cycles = [
+                    schedule.items[schedule.node_to_item[n]].cycle
+                    for n in dag.effects
+                    if dag.nodes[n].op is kind and dag.nodes[n].attr == queue
+                ]
+                assert cycles == sorted(cycles)
+
+    @given(random_dags())
+    @settings(max_examples=150, deadline=None)
+    def test_length_covers_all_latencies(self, dag):
+        schedule = schedule_block(dag, CFG)
+        for item in schedule.items.values():
+            assert schedule.length >= item.cycle + max(item.latency, 1)

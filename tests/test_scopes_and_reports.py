@@ -1,0 +1,74 @@
+"""Coverage for symbol scopes and the decomposition/report helpers."""
+
+import pytest
+
+from repro.compiler import compile_w2, decomposition_report
+from repro.lang.ast import ScalarType
+from repro.lang.errors import SemanticError, SourceLocation
+from repro.lang.symbols import Scope, Symbol, SymbolKind
+from repro.programs import matmul, polynomial
+
+LOC = SourceLocation(1, 1)
+
+
+def sym(name, kind=SymbolKind.CELL_VAR, dims=()):
+    return Symbol(name, kind, ScalarType.FLOAT, dims, LOC)
+
+
+class TestScope:
+    def test_lookup_through_parents(self):
+        outer = Scope()
+        outer.define(sym("x"))
+        inner = Scope(outer)
+        assert inner.lookup("x") is not None
+
+    def test_shadowing(self):
+        outer = Scope()
+        outer.define(sym("x"))
+        inner = Scope(outer)
+        inner.define(sym("x", dims=(4,)))
+        assert inner.lookup("x").is_array
+        assert not outer.lookup("x").is_array
+
+    def test_duplicate_in_same_scope(self):
+        scope = Scope()
+        scope.define(sym("x"))
+        with pytest.raises(SemanticError, match="duplicate"):
+            scope.define(sym("x"))
+
+    def test_lookup_or_fail(self):
+        scope = Scope()
+        with pytest.raises(SemanticError, match="undefined"):
+            scope.lookup_or_fail("nope", LOC)
+
+    def test_local_symbols_excludes_parent(self):
+        outer = Scope()
+        outer.define(sym("a"))
+        inner = Scope(outer)
+        inner.define(sym("b"))
+        assert [s.name for s in inner.local_symbols()] == ["b"]
+
+    def test_element_count(self):
+        assert sym("m", dims=(3, 4)).element_count == 12
+        assert sym("s").element_count == 1
+
+
+class TestDecompositionReport:
+    def test_host_descriptors_counted(self):
+        report = decomposition_report(compile_w2(polynomial(40, 5)))
+        # Feed: c block + z block + Y literal run; collection: X
+        # discard run + Y results block.  A handful, not hundreds.
+        assert 0 < report.host_descriptors <= 8
+        assert report.host_inputs == 45 + 40
+
+    def test_matmul_descriptor_compression(self):
+        program = compile_w2(matmul(16, 4))
+        report = decomposition_report(program)
+        # 16 columns-per-group rounds plus row streams compress well
+        # below the word count.
+        assert report.host_descriptors < report.host_inputs
+
+    def test_literal_vs_queue_addresses(self):
+        report = decomposition_report(compile_w2(matmul(8, 4)))
+        assert report.iu_supplied_addresses > 0
+        assert report.literal_addresses == 0  # all array refs are loop-varying

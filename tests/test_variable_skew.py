@@ -1,0 +1,99 @@
+"""Tests for the variable-skew (delay-insertion) analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_w2
+from repro.lang import Channel
+from repro.programs import colorseg, polynomial
+from repro.timing import plan_variable_skew, receive_delays
+from repro.timing.synthetic import SynthBlock, SynthLoop, build_program
+from repro.timing.events import stream_event_times
+from repro.timing.vectors import input_stream, output_stream
+
+
+class TestReceiveDelays:
+    def test_no_delay_needed(self):
+        sends = np.array([0, 1, 2])
+        recvs = np.array([5, 6, 7])
+        assert list(receive_delays(sends, recvs)) == [0, 0, 0]
+
+    def test_single_bottleneck_propagates(self):
+        sends = np.array([0, 10, 11])
+        recvs = np.array([1, 2, 12])
+        # receive 1 must wait 8 cycles; receive 2's requirement is
+        # already met but the delay is cumulative (non-decreasing).
+        assert list(receive_delays(sends, recvs)) == [0, 8, 8]
+
+    def test_empty(self):
+        assert receive_delays(np.array([1, 2]), np.array([])).size == 0
+
+    def test_constraint_satisfied(self):
+        sends = np.array([3, 4, 9, 20])
+        recvs = np.array([0, 5, 6, 7])
+        delays = receive_delays(sends, recvs)
+        assert ((recvs + delays) >= sends[: recvs.size]).all()
+        assert (np.diff(delays) >= 0).all()
+
+
+class TestPlan:
+    def test_colorseg_buffer_saving(self):
+        """The paper's remark: delay insertion 'may lower the demand on
+        the size of the buffers' — dramatic for ColorSeg."""
+        program = compile_w2(colorseg(16, 8, 10))
+        plan = plan_variable_skew(
+            program.cell_code, Channel.X, program.skew.skew
+        )
+        assert plan.buffer_required < plan.buffer_constant
+        assert plan.buffer_required <= 2
+
+    def test_final_delay_bounded_by_skew(self):
+        """And 'the latency of the computation remains the same': the
+        accumulated delay never exceeds the constant minimum skew."""
+        for source in (polynomial(24, 4), colorseg(12, 6, 5)):
+            program = compile_w2(source)
+            plan = plan_variable_skew(
+                program.cell_code, Channel.X, program.skew.skew
+            )
+            assert plan.final_delay <= program.skew.skew
+
+    def test_saving_reported(self):
+        program = compile_w2(colorseg(12, 6, 5))
+        plan = plan_variable_skew(
+            program.cell_code, Channel.X, program.skew.skew
+        )
+        assert plan.buffer_saving == plan.buffer_constant - plan.buffer_required
+
+
+@st.composite
+def synth_with_balanced_io(draw):
+    n = draw(st.integers(1, 5))
+    items = []
+    for _ in range(n):
+        length = draw(st.integers(2, 5))
+        first = draw(st.sampled_from(["in", "out"]))
+        second = "out" if first == "in" else "in"
+        items.append(
+            SynthBlock(length=length, events=[(first, 0), (second, 1)])
+        )
+        if draw(st.booleans()):
+            items[-1] = SynthLoop(trip=draw(st.integers(1, 4)), body=[items[-1]])
+    return build_program(*items)
+
+
+class TestProperties:
+    @given(synth_with_balanced_io())
+    @settings(max_examples=100, deadline=None)
+    def test_variable_never_needs_more_buffer(self, code):
+        from repro.timing import minimum_skew_exact
+
+        sends = stream_event_times(code, output_stream(Channel.X))
+        recvs = stream_event_times(code, input_stream(Channel.X))
+        if recvs.size == 0 or recvs.size > sends.size:
+            return
+        skew = minimum_skew_exact(code, Channel.X).skew
+        plan = plan_variable_skew(code, Channel.X, skew)
+        assert plan.buffer_required <= plan.buffer_constant
+        assert plan.final_delay <= max(skew, 0)
