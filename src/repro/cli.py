@@ -4,23 +4,31 @@ Usage (also via ``python -m repro``)::
 
     python -m repro compile  program.w2        # metrics + listings
     python -m repro run      program.w2 --input a=in.npy --output out.npz
+    python -m repro profile  program.w2        # phase timings + utilisation
+    python -m repro compare  program.w2        # predicted vs measured
     python -m repro timing   program.w2        # skew / buffer report
     python -m repro examples                   # list bundled programs
     python -m repro emit     polynomial        # print a bundled program
 
+``run``/``profile``/``compare`` accept ``--trace-out trace.json``
+(Chrome ``trace_event`` file for ``chrome://tracing`` / Perfetto) and
+``--metrics-out metrics.json`` (structured cycle-level metrics).
+
 Inputs accept ``name=file.npy``, ``name=file.txt`` (whitespace floats)
-or ``name=1.0,2.0,3.0`` inline.
+or ``name=1.0,2.0,3.0`` inline.  Missing inputs default to zeros (cell
+schedules are data-independent, so cycle counts are unaffected).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
-from . import programs
+from . import obs, programs
 from .cellcodegen.listing import format_cell_code
 from .compiler import (
     compile_w2,
@@ -29,6 +37,7 @@ from .compiler import (
     format_performance,
     predict_performance,
 )
+from .errors import HostDataError
 from .lang import Channel
 from .machine import simulate
 from .machine.trace import format_two_cell_trace
@@ -77,6 +86,55 @@ def _parse_input(spec: str) -> tuple[str, np.ndarray]:
         raise SystemExit(f"error: cannot parse input {spec!r}") from None
 
 
+def _check_inputs(program, inputs: dict[str, np.ndarray]) -> None:
+    """Reject inputs that do not fit the module's declared arrays with a
+    clear message (shorter arrays are zero-padded, as documented)."""
+    declared = {
+        name: int(np.prod(dims)) if dims else 1
+        for name, dims in program.ir.host_arrays.items()
+    }
+    for name, data in inputs.items():
+        if name not in declared:
+            raise SystemExit(
+                f"error: module {program.module_name!r} has no array "
+                f"{name!r} (declared: {', '.join(sorted(declared))})"
+            )
+        if data.size > declared[name]:
+            raise SystemExit(
+                f"error: input {name!r} has {data.size} elements but "
+                f"module {program.module_name!r} declares "
+                f"{name}[{declared[name]}]"
+            )
+
+
+def _simulate_with_exports(program, args, telemetry=None):
+    """Simulate honouring ``--trace-out`` / ``--metrics-out``."""
+    inputs = dict(_parse_input(spec) for spec in args.input or [])
+    _check_inputs(program, inputs)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    result = simulate(
+        program,
+        inputs,
+        trace_limit=getattr(args, "trace", 0),
+        record=bool(trace_out),
+    )
+    if trace_out:
+        obs.write_chrome_trace(
+            trace_out, obs.simulation_trace_events(result, telemetry)
+        )
+        print(f"chrome trace written to {trace_out}")
+    if metrics_out:
+        document = obs.metrics_to_json(
+            result.machine_metrics,
+            prediction=predict_performance(program),
+            telemetry=telemetry,
+        )
+        Path(metrics_out).write_text(json.dumps(document, indent=2))
+        print(f"metrics written to {metrics_out}")
+    return result
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     program = compile_w2(_load_source(args.program), unroll=args.unroll)
     print(format_metrics_table([program.metrics]))
@@ -119,8 +177,7 @@ def cmd_timing(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     program = compile_w2(_load_source(args.program), unroll=args.unroll)
-    inputs = dict(_parse_input(spec) for spec in args.input or [])
-    result = simulate(program, inputs, trace_limit=args.trace)
+    result = _simulate_with_exports(program, args)
     print(
         f"ran {program.module_name!r} on {program.n_cells} cells: "
         f"{result.total_cycles} cycles, skew {result.skew}"
@@ -129,10 +186,42 @@ def cmd_run(args: argparse.Namespace) -> int:
         preview = np.array2string(data[:8], precision=5)
         print(f"    {name}[{data.size}] = {preview}{'...' if data.size > 8 else ''}")
     if args.trace:
-        print("\n" + format_two_cell_trace(result.trace))
+        cells = tuple(args.trace_cells)
+        if any(c < 0 or c >= program.n_cells for c in cells):
+            raise SystemExit(
+                f"error: --trace-cells {cells[0]} {cells[1]} out of range: "
+                f"module {program.module_name!r} has cells 0..{program.n_cells - 1}"
+            )
+        print("\n" + format_two_cell_trace(result.trace, cells=cells))
     if args.output:
         np.savez(args.output, **result.outputs)
         print(f"outputs written to {args.output}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Per-phase compile timings plus cycle-level machine utilisation."""
+    with obs.collecting() as telemetry:
+        program = compile_w2(_load_source(args.program), unroll=args.unroll)
+        result = _simulate_with_exports(program, args, telemetry)
+    print(f"== compile phases: {program.module_name} ==")
+    print(obs.format_phase_table(telemetry))
+    print("\n== compile counters ==")
+    print(obs.format_counters(telemetry))
+    print(f"\n== machine utilisation: {program.n_cells} cells ==")
+    print(obs.format_utilization(result.machine_metrics))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Predicted (compile-time) vs measured (simulated) performance."""
+    program = compile_w2(_load_source(args.program), unroll=args.unroll)
+    result = _simulate_with_exports(program, args)
+    print(
+        f"{program.module_name}: predicted vs measured "
+        f"({program.n_cells} cells)"
+    )
+    print(obs.format_compare(predict_performance(program), result.machine_metrics))
     return 0
 
 
@@ -172,21 +261,55 @@ def build_parser() -> argparse.ArgumentParser:
     timing_p.add_argument("--unroll", type=int, default=1)
     timing_p.set_defaults(func=cmd_timing)
 
+    def add_simulation_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--unroll", type=int, default=1)
+        p.add_argument(
+            "--input",
+            action="append",
+            metavar="NAME=VALUES",
+            help="input array: name=file.npy | name=file.txt | name=1,2,3 "
+            "(missing inputs default to zeros)",
+        )
+        p.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="write a Chrome trace_event JSON (chrome://tracing, "
+            "Perfetto): one lane per cell/queue plus IU and host lanes",
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="write structured cycle-level metrics as JSON",
+        )
+
     run_p = sub.add_parser("run", help="compile and simulate")
     run_p.add_argument("program")
-    run_p.add_argument("--unroll", type=int, default=1)
-    run_p.add_argument(
-        "--input",
-        action="append",
-        metavar="NAME=VALUES",
-        help="input array: name=file.npy | name=file.txt | name=1,2,3",
-    )
+    add_simulation_options(run_p)
     run_p.add_argument("--output", help="write outputs to an .npz file")
     run_p.add_argument(
         "--trace", type=int, default=0, metavar="N",
         help="record and print the first N I/O events per cell",
     )
+    run_p.add_argument(
+        "--trace-cells", type=int, nargs=2, default=(0, 1), metavar=("I", "J"),
+        help="which cell pair --trace prints (default: 0 1)",
+    )
     run_p.set_defaults(func=cmd_run)
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="per-phase compile timings and machine utilisation summary",
+    )
+    profile_p.add_argument("program")
+    add_simulation_options(profile_p)
+    profile_p.set_defaults(func=cmd_profile)
+
+    compare_p = sub.add_parser(
+        "compare", help="predicted vs measured performance, with deltas"
+    )
+    compare_p.add_argument("program")
+    add_simulation_options(compare_p)
+    compare_p.set_defaults(func=cmd_compare)
 
     examples_p = sub.add_parser("examples", help="list bundled programs")
     examples_p.set_defaults(func=cmd_examples)
@@ -204,6 +327,11 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except BrokenPipeError:  # e.g. `repro compile ... | head`
         return 0
+    except HostDataError as error:
+        # Malformed host data (e.g. out-of-bounds I/O bindings) is a
+        # usage problem, not a crash: report it without a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,8 +27,11 @@ from ..hostcodegen import HostProgram, generate_host_program
 from ..ir import CellProgramIR, build_ir
 from ..ir.dag import OpKind
 from ..iucodegen import IUProgram, generate_iu_code
-from ..lang import AnalyzedModule, analyze, count_w2_lines, parse_module
+from ..lang import AnalyzedModule, analyze, count_w2_lines
+from ..lang.lexer import tokenize
+from ..lang.parser import Parser
 from ..config import DEFAULT_CONFIG, WarpConfig
+from ..obs import get_telemetry
 from .mirror import mirror_module
 from ..timing import (
     BufferRequirement,
@@ -112,17 +115,26 @@ def compile_w2(
     1/2/4/8 and keeps the fastest predicted schedule.
     """
     started = time.perf_counter()
-    module = parse_module(source)
-    analyzed = analyze(module)
+    obs = get_telemetry()
+    with obs.span("frontend.lex"):
+        tokens = tokenize(source)
+    obs.counter("frontend.tokens", len(tokens))
+    with obs.span("frontend.parse"):
+        module = Parser(tokens).parse_module()
+    with obs.span("frontend.semantic"):
+        analyzed = analyze(module)
     if unroll == "auto":
-        unroll = _choose_unroll_factor(analyzed, config)
+        with obs.span("driver.choose-unroll"):
+            unroll = _choose_unroll_factor(analyzed, config)
+        obs.counter("driver.unroll_factor", unroll)
     del_local = not local_opt
 
     ir, cell_code = _generate_with_demotion(
         analyzed, config, unroll, local_opt=not del_local
     )
 
-    comm = analyze_communication(ir.tree)
+    with obs.span("analysis.comm"):
+        comm = analyze_communication(ir.tree)
     mirrored = False
     if (
         ir.n_cells > 1
@@ -131,11 +143,12 @@ def compile_w2(
         and comm.is_unidirectional_rl
     ):
         # Right-to-left flow: run the mirror image on the reversed array.
-        analyzed = analyze(mirror_module(module))
-        ir, cell_code = _generate_with_demotion(
-            analyzed, config, unroll, local_opt=not del_local
-        )
-        comm = analyze_communication(ir.tree)
+        with obs.span("driver.mirror"):
+            analyzed = analyze(mirror_module(module))
+            ir, cell_code = _generate_with_demotion(
+                analyzed, config, unroll, local_opt=not del_local
+            )
+            comm = analyze_communication(ir.tree)
         mirrored = True
     _check_mappability(comm, ir)
     if ir.n_cells > config.n_cells:
@@ -143,14 +156,40 @@ def compile_w2(
             f"module uses {ir.n_cells} cells but the machine has "
             f"{config.n_cells}"
         )
+    if obs.enabled:
+        blocks = list(ir.tree.blocks())
+        obs.counter("ir.blocks", len(blocks))
+        obs.counter(
+            "ir.dag_nodes", sum(len(b.dag.nodes) for b in blocks)
+        )
+        obs.counter("ir.cse_hits", sum(b.dag.cse_hits for b in blocks))
+        obs.counter("codegen.cell_instructions", cell_code.n_instructions)
+        obs.counter("codegen.cell_cycles", cell_code.total_cycles)
+        obs.counter(
+            "codegen.max_live_registers", cell_code.max_live_registers
+        )
 
-    skew = compute_skew(cell_code, method=skew_method, n_cells=ir.n_cells)
-    if ir.n_cells > 1:
-        buffers = check_buffers(cell_code, skew.skew, config.queue_depth)
-    else:
-        buffers = []
-    iu_program = generate_iu_code(cell_code, config.iu)
-    host_program = generate_host_program(cell_code, ir.io_statements)
+    with obs.span("timing.skew"):
+        skew = compute_skew(
+            cell_code, method=skew_method, n_cells=ir.n_cells
+        )
+    obs.counter("timing.skew_cycles", skew.skew)
+    with obs.span("timing.buffers"):
+        if ir.n_cells > 1:
+            buffers = check_buffers(cell_code, skew.skew, config.queue_depth)
+        else:
+            buffers = []
+    for requirement in buffers:
+        obs.counter(
+            f"timing.min_buffer.{requirement.channel.value}",
+            requirement.required,
+        )
+    with obs.span("iucodegen"):
+        iu_program = generate_iu_code(cell_code, config.iu)
+    obs.counter("codegen.iu_instructions", iu_program.n_instructions)
+    obs.counter("codegen.iu_table_entries", iu_program.table_entries)
+    with obs.span("hostcodegen"):
+        host_program = generate_host_program(cell_code, ir.io_statements)
 
     elapsed = time.perf_counter() - started
     metrics = CompileMetrics(
@@ -204,18 +243,22 @@ def _generate_with_demotion(
 ) -> tuple[CellProgramIR, CellCode]:
     """Build IR and cell code, demoting cold scalars to memory when the
     register files cannot hold them all."""
+    obs = get_telemetry()
     memory_scalars: frozenset[str] = frozenset()
     last_error: RegisterPressureError | None = None
     for _attempt in range(64):
-        ir = build_ir(
-            analyzed,
-            memory_scalars,
-            unroll_factor=unroll,
-            enable_local_opt=local_opt,
-        )
-        eliminate_dead_writes(ir.tree)
+        with obs.span("decomposition.build-ir"):
+            ir = build_ir(
+                analyzed,
+                memory_scalars,
+                unroll_factor=unroll,
+                enable_local_opt=local_opt,
+            )
+        with obs.span("analysis.local-opt"):
+            eliminate_dead_writes(ir.tree)
         try:
-            return ir, generate_cell_code(ir, config.cell)
+            with obs.span("cellcodegen"):
+                return ir, generate_cell_code(ir, config.cell)
         except RegisterPressureError as error:
             last_error = error
             counts = _scalar_use_counts(ir)
@@ -226,7 +269,9 @@ def _generate_with_demotion(
             ]
             if not candidates:
                 raise
-            memory_scalars = memory_scalars | frozenset(candidates[:4])
+            demoted = frozenset(candidates[:4])
+            obs.counter("regalloc.demoted_scalars", len(demoted))
+            memory_scalars = memory_scalars | demoted
     assert last_error is not None
     raise last_error
 

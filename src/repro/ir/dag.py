@@ -151,6 +151,8 @@ class Dag:
         #: I/O, store and write nodes in program order (the block's
         #: observable effects).
         self.effects: list[int] = []
+        #: Value-numbering hits: requests answered by an existing node.
+        self.cse_hits = 0
 
     # Construction -------------------------------------------------------
 
@@ -177,6 +179,7 @@ class Dag:
         key = (op, operands, attr)
         existing = self._value_numbers.get(key)
         if existing is not None:
+            self.cse_hits += 1
             return self.nodes[existing]
         node = self._new_node(op, operands, attr)
         self._value_numbers[key] = node.node_id
@@ -193,6 +196,7 @@ class Dag:
         key = (OpKind.LOAD, (), (ref, epoch))
         existing = self._value_numbers.get(key)
         if existing is not None:
+            self.cse_hits += 1
             return self.nodes[existing]
         node = self._new_node(OpKind.LOAD, (), ref)
         self._value_numbers[key] = node.node_id

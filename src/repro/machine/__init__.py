@@ -1,6 +1,7 @@
 """The Warp machine simulator: cells, queues, IU address path, host
 feeder/collector, plus the AST-level reference interpreter."""
 
+from ..obs.metrics import CellMetrics, IUMetrics, MachineMetrics, QueueMetrics
 from .array import SimulationResult, WarpMachine, simulate
 from .cell import CellExecutor, CellStats, TraceEvent
 from .config import DEFAULT_CONFIG, CellConfig, IUConfig, WarpConfig
@@ -12,11 +13,15 @@ from .reference import interpret
 __all__ = [
     "CellConfig",
     "CellExecutor",
+    "CellMetrics",
     "CellStats",
     "DEFAULT_CONFIG",
     "HostMemory",
     "IUConfig",
     "IUMachine",
+    "IUMetrics",
+    "MachineMetrics",
+    "QueueMetrics",
     "SimulationResult",
     "TimedQueue",
     "TraceEvent",

@@ -22,6 +22,13 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..lang.ast import Channel
+from ..obs.metrics import (
+    IUMetrics,
+    MachineMetrics,
+    MachineRecorder,
+    QueueMetrics,
+    cell_metrics_from_counts,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - avoid circular import at run time
     from ..compiler.driver import CompiledProgram
@@ -41,6 +48,12 @@ class SimulationResult:
     #: Peak occupancy per inter-cell queue, name -> words.
     queue_occupancy: dict[str, int]
     trace: list[TraceEvent] = field(default_factory=list)
+    #: Cycle-level metrics: per-cell busy/stall/idle breakdown, per-queue
+    #: high-water marks and residency, IU address-path statistics.
+    machine_metrics: MachineMetrics | None = None
+    #: Per-block execution spans (only when ``simulate(..., record=True)``;
+    #: feeds the Chrome-trace exporter).
+    record: MachineRecorder | None = None
 
     @property
     def throughput_denominator(self) -> int:
@@ -64,6 +77,7 @@ class WarpMachine:
         self,
         inputs: dict[str, np.ndarray],
         trace_limit: int = 0,
+        record: bool = False,
     ) -> SimulationResult:
         program = self._program
         n_cells = program.n_cells
@@ -104,6 +118,8 @@ class WarpMachine:
 
         stats: list[CellStats] = []
         occupancy: dict[str, int] = {}
+        recorder = MachineRecorder() if record else None
+        address_queues: list[TimedQueue] = []
         end_time = 0
         for cell_index in range(n_cells):
             start = cell_index * skew
@@ -122,11 +138,13 @@ class WarpMachine:
                 out_queues=links[cell_index + 1],
                 address_queue=address_queue,
                 trace=tracer if trace_limit else None,
+                recorder=recorder,
             )
             cell_stats = executor.run()
             stats.append(cell_stats)
             end_time = max(end_time, cell_stats.end_time)
             occupancy[address_queue.name] = address_queue.audit_capacity()
+            address_queues.append(address_queue)
 
         for i in range(1, n_cells):
             for channel, queue in links[i].items():
@@ -142,6 +160,9 @@ class WarpMachine:
             name: memory.arrays[name].copy()
             for name in program.ir.host_arrays
         }
+        metrics = self._build_metrics(
+            stats, links, address_queues, occupancy, emissions, end_time, skew
+        )
         return SimulationResult(
             outputs=outputs,
             cell_stats=stats,
@@ -149,6 +170,72 @@ class WarpMachine:
             skew=skew,
             queue_occupancy=occupancy,
             trace=trace,
+            machine_metrics=metrics,
+            record=recorder,
+        )
+
+    def _build_metrics(
+        self,
+        stats: list[CellStats],
+        links: list[dict[Channel, TimedQueue]],
+        address_queues: list[TimedQueue],
+        occupancy: dict[str, int],
+        emissions: list[tuple[int, int, int]],
+        end_time: int,
+        skew: int,
+    ) -> MachineMetrics:
+        """Assemble the cycle-level metrics of one finished run.
+
+        Queues covered: the host boundary (``link0``), every audited
+        inter-cell link, and the per-cell address queues.  The collector
+        link is omitted — the host drains it outside cell time, so its
+        occupancy is not a machine property.
+        """
+        n_cells = len(stats)
+        queues: dict[str, QueueMetrics] = {}
+        for i in range(n_cells):
+            for queue in links[i].values():
+                queues[queue.name] = queue.to_metrics(
+                    high_water=occupancy.get(queue.name)
+                )
+        for queue in address_queues:
+            queues[queue.name] = queue.to_metrics(
+                high_water=occupancy.get(queue.name)
+            )
+        cells = []
+        for cell_stats in stats:
+            wait = sum(
+                queue.total_wait_cycles()
+                for queue in links[cell_stats.cell].values()
+            )
+            cells.append(
+                cell_metrics_from_counts(
+                    cell=cell_stats.cell,
+                    start_cycle=cell_stats.start_time,
+                    end_cycle=cell_stats.end_time,
+                    total_cycles=end_time,
+                    issue_cycles=cell_stats.issue_cycles,
+                    alu_ops=cell_stats.alu_ops,
+                    mpy_ops=cell_stats.mpy_ops,
+                    mem_reads=cell_stats.mem_reads,
+                    mem_writes=cell_stats.mem_writes,
+                    receives=cell_stats.receives,
+                    sends=cell_stats.sends,
+                    receive_wait_cycles=wait,
+                )
+            )
+        emit_times = [t for t, _deadline, _addr in emissions]
+        iu = IUMetrics(
+            addresses_emitted=len(emit_times),
+            first_emit_cycle=min(emit_times) if emit_times else 0,
+            last_emit_cycle=max(emit_times) if emit_times else 0,
+        )
+        return MachineMetrics(
+            total_cycles=end_time,
+            skew=skew,
+            cells=cells,
+            queues=queues,
+            iu=iu,
         )
 
 
@@ -156,6 +243,13 @@ def simulate(
     program: "CompiledProgram",
     inputs: dict[str, np.ndarray],
     trace_limit: int = 0,
+    record: bool = False,
 ) -> SimulationResult:
-    """Run a compiled program on the simulated Warp machine."""
-    return WarpMachine(program).run(inputs, trace_limit=trace_limit)
+    """Run a compiled program on the simulated Warp machine.
+
+    ``record=True`` additionally collects per-block execution spans on
+    every cell (``result.record``), which the Chrome-trace exporter
+    turns into per-cell lanes."""
+    return WarpMachine(program).run(
+        inputs, trace_limit=trace_limit, record=record
+    )

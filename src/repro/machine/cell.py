@@ -22,6 +22,7 @@ from ..analysis.local_opt import evaluate_pure
 from ..ir.dag import OpKind, QueueRef
 from ..lang.ast import Channel, Direction
 from ..config import CellConfig
+from ..obs.metrics import MachineRecorder
 from .queue import TimedQueue
 
 
@@ -47,10 +48,18 @@ class CellStats:
     mem_writes: int = 0
     receives: int = 0
     sends: int = 0
+    #: Cycles that issued at least one operation (non-nop instruction).
+    issue_cycles: int = 0
 
     @property
     def busy_cycles(self) -> int:
         return self.end_time - self.start_time
+
+    @property
+    def stall_cycles(self) -> int:
+        """Schedule bubbles (latency/drain nops) inside the execution
+        window."""
+        return max(self.busy_cycles - self.issue_cycles, 0)
 
     @property
     def flop_utilization(self) -> float:
@@ -72,6 +81,7 @@ class CellExecutor:
         out_queues: dict[Channel, TimedQueue],
         address_queue: TimedQueue,
         trace: Callable[[TraceEvent], None] | None = None,
+        recorder: MachineRecorder | None = None,
     ):
         self._code = code
         self._config = config
@@ -81,6 +91,9 @@ class CellExecutor:
         self._out = out_queues
         self._addr = address_queue
         self._trace = trace
+        self._recorder = recorder
+        #: Issued-op count per block (static per schedule, cached).
+        self._issue_counts: dict[int, int] = {}
         self._registers = [0.0] * config.n_registers
         self._pending: list[tuple[int, int, int, float]] = []  # (time, seq, reg, value)
         self._seq = 0
@@ -124,6 +137,17 @@ class CellExecutor:
         return time
 
     def _run_block(self, block: ScheduledBlock, time: int) -> int:
+        issued = self._issue_counts.get(block.block_id)
+        if issued is None:
+            issued = sum(
+                1 for instr in block.instructions if not instr.is_nop()
+            )
+            self._issue_counts[block.block_id] = issued
+        self.stats.issue_cycles += issued
+        if self._recorder is not None:
+            self._recorder.block(
+                self._cell, block.block_id, time, block.length, issued
+            )
         for cycle, instr in enumerate(block.instructions):
             if not instr.is_nop():
                 self._execute(instr, time + cycle)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from ..errors import SimulationError
 from ..iucodegen.isa import IUOp, IUOpKind
 from ..iucodegen.lower import LoweredBlock, LoweredIUProgram, LoweredLoop
+from ..obs import get_telemetry
 
 
 class TableOrderError(SimulationError):
@@ -28,6 +29,10 @@ class IUMachineState:
     emitted: list[int] = field(default_factory=list)
     ops_executed: int = 0
     loop_tests: int = 0
+    #: Dynamic instruction mix, op-kind name -> executions.
+    ops_by_kind: dict[str, int] = field(default_factory=dict)
+    #: Addresses served from the sequential table memory.
+    table_reads: int = 0
 
 
 class IUMachine:
@@ -47,6 +52,11 @@ class IUMachine:
                 f"table memory not fully consumed: cursor "
                 f"{self.state.table_cursor} of {len(self._program.table)}"
             )
+        obs = get_telemetry()
+        if obs.enabled:
+            obs.counter("iu.ops_executed", self.state.ops_executed)
+            obs.counter("iu.addresses_emitted", len(self.state.emitted))
+            obs.counter("iu.table_reads", self.state.table_reads)
         return list(self.state.emitted)
 
     # Execution ---------------------------------------------------------------
@@ -75,6 +85,8 @@ class IUMachine:
     def _execute(self, op: IUOp) -> None:
         state = self.state
         state.ops_executed += 1
+        kind = op.kind.name
+        state.ops_by_kind[kind] = state.ops_by_kind.get(kind, 0) + 1
         if op.kind is IUOpKind.SETI:
             state.registers[op.dest.index] = int(op.immediate)
         elif op.kind is IUOpKind.ADDI:
@@ -96,6 +108,7 @@ class IUMachine:
                 raise TableOrderError("table memory exhausted")
             state.emitted.append(self._program.table[state.table_cursor])
             state.table_cursor += 1
+            state.table_reads += 1
         elif op.kind is IUOpKind.LOOP_TEST:
             state.loop_tests += 1
         elif op.kind is IUOpKind.LOOP_INIT:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import QueueCapacityError, QueueUnderflowError
+from ..obs.metrics import QueueMetrics, queue_metrics_from_times
 from ..timing.buffers import occupancy_requirement
 
 
@@ -79,3 +80,18 @@ class TimedQueue:
                 f"{self.capacity}-word queue"
             )
         return occupancy
+
+    def total_wait_cycles(self) -> int:
+        """Cycles consumed items spent in the queue (receive - send)."""
+        consumed = len(self.recv_times)
+        return sum(self.recv_times) - sum(self.send_times[:consumed])
+
+    def to_metrics(self, high_water: int | None = None) -> QueueMetrics:
+        """Snapshot this queue's occupancy/residency statistics."""
+        return queue_metrics_from_times(
+            name=self.name,
+            capacity=self.capacity,
+            high_water=self.max_occupancy() if high_water is None else high_water,
+            send_times=self.send_times,
+            recv_times=self.recv_times,
+        )

@@ -1,0 +1,167 @@
+"""The span/counter telemetry core.
+
+A :class:`Telemetry` object collects two kinds of facts:
+
+* **spans** — named, nestable wall-clock intervals (``with
+  telemetry.span("parse"): ...``), used by the compiler driver to time
+  every phase;
+* **counters** — named accumulating integers (``telemetry.counter(
+  "dag.cse_hits", 3)``), used for phase-specific statistics (block
+  counts, DAG nodes, CSE hits, spill counts, computed skew, ...).
+
+Instrumented code talks to the *active* telemetry via
+:func:`get_telemetry`.  By default that is :data:`NULL_TELEMETRY`, a
+shared no-op object whose ``span()`` returns one cached null context
+manager and whose ``counter()`` does nothing — the disabled-mode cost is
+one attribute lookup and one function call per instrumentation point.
+:func:`enable` installs a live collector (and returns it);
+:func:`disable` restores the no-op.  :func:`collecting` is the scoped
+equivalent for tools and tests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One closed (or still-open) named interval, in seconds."""
+
+    name: str
+    start: float
+    end: float = 0.0
+    #: Index of the enclosing span in ``Telemetry.spans`` (-1 = root).
+    parent: int = -1
+    depth: int = 0
+    #: Counter deltas attributed to this span (accumulated while open).
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+
+class Telemetry:
+    """A live span/counter collector."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        #: Completed and open spans, in start order.
+        self.spans: list[Span] = []
+        #: Global accumulated counters.
+        self.counters: dict[str, int] = {}
+        self._open: list[int] = []  # indices into ``spans``
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Time a named phase; spans nest with ``with`` structure."""
+        index = len(self.spans)
+        record = Span(
+            name=name,
+            start=self._clock(),
+            parent=self._open[-1] if self._open else -1,
+            depth=len(self._open),
+        )
+        self.spans.append(record)
+        self._open.append(index)
+        try:
+            yield record
+        finally:
+            record.end = self._clock()
+            self._open.pop()
+
+    def counter(self, name: str, value: int = 1) -> None:
+        """Accumulate ``value`` into a named counter (and attribute it
+        to the innermost open span, if any)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+        if self._open:
+            span = self.spans[self._open[-1]]
+            span.counters[name] = span.counters.get(name, 0) + value
+
+    # Introspection -------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time covered by the top-level spans."""
+        return sum(s.duration for s in self.spans if s.parent == -1)
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+
+class _NullContext:
+    """A reusable no-op context manager (yields ``None``)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+class NullTelemetry:
+    """Disabled-mode stand-in: every operation is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+    spans: list[Span] = []
+    counters: dict[str, int] = {}
+    _NULL_CONTEXT = _NullContext()
+
+    def span(self, name: str) -> _NullContext:
+        return self._NULL_CONTEXT
+
+    def counter(self, name: str, value: int = 1) -> None:
+        return None
+
+    @property
+    def total_seconds(self) -> float:
+        return 0.0
+
+    def find(self, name: str) -> list[Span]:
+        return []
+
+
+#: The shared disabled-mode telemetry.
+NULL_TELEMETRY = NullTelemetry()
+
+_active: Telemetry | NullTelemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry | NullTelemetry:
+    """The telemetry instrumented code should report to."""
+    return _active
+
+
+def enable(telemetry: Telemetry | None = None) -> Telemetry:
+    """Install (and return) a live collector as the active telemetry."""
+    global _active
+    _active = telemetry if telemetry is not None else Telemetry()
+    return _active
+
+
+def disable() -> None:
+    """Restore the no-op telemetry."""
+    global _active
+    _active = NULL_TELEMETRY
+
+
+@contextmanager
+def collecting() -> Iterator[Telemetry]:
+    """Scoped collection: enable a fresh collector, restore on exit."""
+    global _active
+    previous = _active
+    telemetry = enable(Telemetry())
+    try:
+        yield telemetry
+    finally:
+        _active = previous

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -74,6 +76,134 @@ class TestRunCommand:
     def test_unparseable_values(self):
         with pytest.raises(SystemExit):
             main(["run", "passthrough", "--input", "din=a,b,c"])
+
+    def test_oversized_input_is_a_clear_error(self):
+        # Bundled passthrough declares din[16]; 17 values must produce a
+        # clean message, not a traceback.
+        values = ",".join(str(float(v)) for v in range(17))
+        with pytest.raises(SystemExit) as info:
+            main(["run", "passthrough", "--input", f"din={values}"])
+        message = str(info.value)
+        assert "17 elements" in message and "din[16]" in message
+
+    def test_unknown_input_name_is_a_clear_error(self):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "passthrough", "--input", "bogus=1,2"])
+        message = str(info.value)
+        assert "bogus" in message and "declared" in message
+
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(
+            [
+                "run",
+                "polynomial",
+                "--input",
+                "z=1,2,3",
+                "--trace-out",
+                str(path),
+            ]
+        ) == 0
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events
+        lanes = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "cell 0" in lanes and "cell 9" in lanes
+
+    def test_metrics_out_writes_structured_json(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["run", "conv1d", "--metrics-out", str(path)]
+        ) == 0
+        document = json.loads(path.read_text())
+        assert document["total_cycles"] > 0
+        assert document["prediction"]["delta_total_cycles"] == 0
+        assert len(document["cells"]) == 9
+
+    def test_trace_cells_pair(self, capsys):
+        assert main(
+            [
+                "run",
+                "passthrough",
+                "--input",
+                "din=1,2",
+                "--trace",
+                "6",
+                "--trace-cells",
+                "1",
+                "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Cell 1" in out and "Cell 2" in out
+
+    def test_trace_cells_out_of_range_is_a_clear_error(self):
+        with pytest.raises(SystemExit) as info:
+            main(
+                [
+                    "run",
+                    "passthrough",
+                    "--input",
+                    "din=1,2",
+                    "--trace",
+                    "6",
+                    "--trace-cells",
+                    "7",
+                    "8",
+                ]
+            )
+        message = str(info.value)
+        assert "out of range" in message and "0..2" in message
+
+
+class TestProfileCommand:
+    def test_prints_phase_and_utilisation_tables(self, capsys):
+        assert main(["profile", "polynomial"]) == 0
+        out = capsys.readouterr().out
+        assert "compile phases" in out
+        assert "frontend.parse" in out and "cellcodegen" in out
+        assert "machine utilisation" in out
+        assert "busy" in out and "stall" in out and "idle" in out
+        assert "high-water" in out
+
+    def test_profile_exports(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert main(
+            [
+                "profile",
+                "passthrough",
+                "--trace-out",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+            ]
+        ) == 0
+        trace_doc = json.loads(trace.read_text())
+        # Compile spans ride along in the exported trace.
+        assert any(e["ph"] == "B" for e in trace_doc["traceEvents"])
+        metrics_doc = json.loads(metrics.read_text())
+        assert "compile" in metrics_doc
+        assert metrics_doc["compile"]["counters"]["ir.blocks"] > 0
+
+    def test_profile_does_not_leak_telemetry(self, capsys):
+        from repro import obs
+        from repro.obs.core import NULL_TELEMETRY
+
+        assert main(["profile", "passthrough"]) == 0
+        assert obs.get_telemetry() is NULL_TELEMETRY
+
+
+class TestCompareCommand:
+    def test_predicted_vs_measured_table(self, capsys):
+        assert main(["compare", "polynomial"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out and "measured" in out
+        assert "prediction exact" in out
 
 
 class TestOtherCommands:

@@ -51,12 +51,37 @@ class TestTraceRendering:
         # Cell 1's row is indented into the second column.
         assert lines[3].startswith(" " * 30)
 
-    def test_row_limit(self):
+    def test_row_limit_indicates_truncation(self):
         events = [
             TraceEvent(0, t, "send", "R.X", float(t)) for t in range(50)
         ]
         text = format_two_cell_trace(events, max_rows=5)
-        assert len(text.splitlines()) == 6  # header + 5 rows
+        lines = text.splitlines()
+        assert len(lines) == 7  # header + 5 rows + truncation note
+        assert lines[-1] == "... 45 more events not shown"
+
+    def test_no_truncation_note_when_everything_fits(self):
+        events = [
+            TraceEvent(0, t, "send", "R.X", float(t)) for t in range(3)
+        ]
+        text = format_two_cell_trace(events, max_rows=5)
+        assert len(text.splitlines()) == 4
+        assert "more events" not in text
+
+    def test_arbitrary_cell_pair(self):
+        events = [
+            TraceEvent(2, 0, "send", "R.X", 1.0),
+            TraceEvent(3, 4, "receive", "L.X", 1.0),
+            TraceEvent(0, 1, "send", "R.X", 9.0),
+        ]
+        text = format_two_cell_trace(events, cells=(2, 3))
+        lines = text.splitlines()
+        assert lines[0].startswith("Cell 2")
+        assert "Cell 3" in lines[0]
+        # Cell 0's event is excluded; cell 2's send gets the arrow.
+        assert "9.0" not in text
+        assert "->" in lines[1]
+        assert lines[2].startswith(" " * 30)
 
     def test_trace_limit_is_per_cell(self):
         program = compile_w2(polynomial(12, 4))
