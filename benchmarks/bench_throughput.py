@@ -13,10 +13,13 @@ arithmetic utilisation than the control-heavy colorseg — and (b) the
 trend toward the paper's number as the unroll optimisation amortises the
 drain."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.compiler import compile_w2
+from repro.exec import BatchRunner, CompileCache
 from repro.machine import simulate
 from repro.programs import colorseg, conv1d, polynomial
 
@@ -139,6 +142,61 @@ def test_array_flops_scale_with_cells(benchmark, rng, report):
     assert rates == sorted(rates)
     report.section(
         "Section 7: aggregate FP ops/cycle vs array size", "\n".join(lines)
+    )
+
+
+def test_batched_execution_speedup(benchmark, rng, report):
+    """E-BATCH: compile-once/run-many vs compile-per-item.
+
+    The paper's skewed model amortises the cell-program load over many
+    invocations (Section 3); the software analogue is a warm compile
+    cache plus one reused machine.  A 100-item batch must be at least
+    5x faster end to end than 100 independent compile+simulate calls —
+    and bit-identical to them."""
+    source = polynomial(16, 8)
+    n_items = 100
+    items = [
+        {"z": rng.standard_normal(16), "c": rng.standard_normal(8)}
+        for _ in range(n_items)
+    ]
+
+    def measure():
+        cache = CompileCache()
+        compile_w2(source, unroll="auto", cache=cache)  # warm the cache
+
+        started = time.perf_counter()
+        one_shot = [
+            simulate(compile_w2(source, unroll="auto"), item)
+            for item in items
+        ]
+        one_shot_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        program = compile_w2(source, unroll="auto", cache=cache)
+        batched = BatchRunner(program).run(items)
+        batched_s = time.perf_counter() - started
+
+        assert cache.stats.hits == 1  # the batch compile came from cache
+        for theirs, mine in zip(one_shot, batched.results):
+            assert np.array_equal(
+                mine.outputs["results"], theirs.outputs["results"]
+            )
+            assert mine.total_cycles == theirs.total_cycles
+        return one_shot_s, batched_s
+
+    one_shot_s, batched_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = one_shot_s / batched_s
+    lines = [
+        f"{'mode':<28} {'wall':>9} {'items/s':>9}",
+        f"{'100x (compile + simulate)':<28} {one_shot_s:>8.3f}s "
+        f"{n_items / one_shot_s:>9.1f}",
+        f"{'warm cache + batched run':<28} {batched_s:>8.3f}s "
+        f"{n_items / batched_s:>9.1f}",
+        f"speedup: {speedup:.1f}x (outputs bit-identical item for item)",
+    ]
+    assert speedup >= 5.0, f"batched speedup {speedup:.2f}x below the 5x bar"
+    report.section(
+        "E-BATCH: batched execution vs one-shot", "\n".join(lines)
     )
 
 

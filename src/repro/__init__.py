@@ -37,11 +37,21 @@ __version__ = "1.0.0"
 
 from .compiler import CompiledProgram, compile_w2
 from .config import DEFAULT_CONFIG, CellConfig, IUConfig, WarpConfig
+from .exec import (
+    BatchResult,
+    BatchRunner,
+    CompileCache,
+    compile_cached,
+    run_batch,
+)
 from .lang import analyze, parse_module
 from .machine import SimulationResult, WarpMachine, interpret, simulate
 
 __all__ = [
+    "BatchResult",
+    "BatchRunner",
     "CellConfig",
+    "CompileCache",
     "CompiledProgram",
     "DEFAULT_CONFIG",
     "IUConfig",
@@ -49,9 +59,11 @@ __all__ = [
     "WarpConfig",
     "WarpMachine",
     "analyze",
+    "compile_cached",
     "compile_w2",
     "interpret",
     "parse_module",
+    "run_batch",
     "simulate",
     "__version__",
 ]

@@ -58,23 +58,32 @@ def _const_value(node: Node) -> Optional[float]:
     return None
 
 
+_EXTRA_EVAL: dict[OpKind, Callable[..., float]] = {
+    OpKind.FDIV: lambda a, b: a / b,
+    OpKind.FNEG: lambda a: -a,
+    OpKind.BNOT: lambda a: 1.0 if a == 0.0 else 0.0,
+    OpKind.SELECT: lambda c, a, b: a if c != 0.0 else b,
+}
+
+
+def pure_evaluator(op: OpKind) -> Optional[Callable[..., float]]:
+    """The evaluation function of a pure op, or ``None`` for impure ops.
+
+    Resolving the dispatch once (e.g. when the simulator pre-decodes a
+    schedule) avoids a per-execution dictionary lookup."""
+    return _ARITH_EVAL.get(op) or _EXTRA_EVAL.get(op)
+
+
 def evaluate_pure(op: OpKind, values: Sequence[float]) -> float:
     """Reference evaluation of a pure operation over float values.
 
     Shared by constant folding, the AST interpreter and the simulator so
     that all three agree on the boolean-as-float convention.
     """
-    if op in _ARITH_EVAL:
-        return _ARITH_EVAL[op](values[0], values[1])
-    if op is OpKind.FDIV:
-        return values[0] / values[1]
-    if op is OpKind.FNEG:
-        return -values[0]
-    if op is OpKind.BNOT:
-        return 1.0 if values[0] == 0.0 else 0.0
-    if op is OpKind.SELECT:
-        return values[1] if values[0] != 0.0 else values[2]
-    raise ValueError(f"not a pure operation: {op}")
+    fn = _ARITH_EVAL.get(op) or _EXTRA_EVAL.get(op)
+    if fn is None:
+        raise ValueError(f"not a pure operation: {op}")
+    return fn(*values)
 
 
 def depth(dag: Dag, node: Node) -> int:

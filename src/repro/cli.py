@@ -4,11 +4,18 @@ Usage (also via ``python -m repro``)::
 
     python -m repro compile  program.w2        # metrics + listings
     python -m repro run      program.w2 --input a=in.npy --output out.npz
+    python -m repro batch    program.w2 --inputs items.npz --output out.npz
     python -m repro profile  program.w2        # phase timings + utilisation
     python -m repro compare  program.w2        # predicted vs measured
     python -m repro timing   program.w2        # skew / buffer report
     python -m repro examples                   # list bundled programs
     python -m repro emit     polynomial        # print a bundled program
+
+All compiling subcommands share a compile cache (in-memory by default;
+``--cache-dir DIR`` persists artefacts on disk, ``--no-cache`` bypasses
+caching entirely).  ``batch`` compiles once and streams many input sets
+through one reused machine (``--items N`` replication or an ``--inputs``
+npz whose arrays carry a leading item axis).
 
 ``run``/``profile``/``compare`` accept ``--trace-out trace.json``
 (Chrome ``trace_event`` file for ``chrome://tracing`` / Perfetto) and
@@ -38,6 +45,7 @@ from .compiler import (
     predict_performance,
 )
 from .errors import HostDataError
+from .exec import BatchRunner, CompileCache, default_cache
 from .lang import Channel
 from .machine import simulate
 from .machine.trace import format_two_cell_trace
@@ -86,6 +94,37 @@ def _parse_input(spec: str) -> tuple[str, np.ndarray]:
         raise SystemExit(f"error: cannot parse input {spec!r}") from None
 
 
+def _make_cache(args: argparse.Namespace) -> CompileCache | None:
+    """The compile cache selected by ``--cache-dir`` / ``--no-cache``.
+
+    Default: the process-wide in-memory cache.  ``--cache-dir`` adds the
+    on-disk layer; ``--no-cache`` disables caching entirely (the compile
+    neither reads nor writes any cache state).
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return CompileCache(cache_dir=cache_dir)
+    return default_cache()
+
+
+def _compile_from_args(args: argparse.Namespace):
+    """Compile the requested program through the selected cache."""
+    cache = _make_cache(args)
+    program = compile_w2(
+        _load_source(args.program), unroll=args.unroll, cache=cache
+    )
+    return program, cache
+
+
+def _cache_status(cache: CompileCache | None) -> str:
+    return obs.format_cache_status(
+        cache.last_event if cache is not None else None,
+        cache.stats if cache is not None else None,
+    )
+
+
 def _check_inputs(program, inputs: dict[str, np.ndarray]) -> None:
     """Reject inputs that do not fit the module's declared arrays with a
     clear message (shorter arrays are zero-padded, as documented)."""
@@ -107,7 +146,7 @@ def _check_inputs(program, inputs: dict[str, np.ndarray]) -> None:
             )
 
 
-def _simulate_with_exports(program, args, telemetry=None):
+def _simulate_with_exports(program, args, telemetry=None, cache=None):
     """Simulate honouring ``--trace-out`` / ``--metrics-out``."""
     inputs = dict(_parse_input(spec) for spec in args.input or [])
     _check_inputs(program, inputs)
@@ -129,6 +168,7 @@ def _simulate_with_exports(program, args, telemetry=None):
             result.machine_metrics,
             prediction=predict_performance(program),
             telemetry=telemetry,
+            cache=cache,
         )
         Path(metrics_out).write_text(json.dumps(document, indent=2))
         print(f"metrics written to {metrics_out}")
@@ -136,7 +176,7 @@ def _simulate_with_exports(program, args, telemetry=None):
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    program = compile_w2(_load_source(args.program), unroll=args.unroll)
+    program, _cache = _compile_from_args(args)
     print(format_metrics_table([program.metrics]))
     report = decomposition_report(program)
     print(
@@ -154,7 +194,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_timing(args: argparse.Namespace) -> int:
-    program = compile_w2(_load_source(args.program), unroll=args.unroll)
+    program, _cache = _compile_from_args(args)
     print(f"inter-cell skew: {program.skew.skew} cycles")
     for entry in program.skew.channels:
         print(
@@ -176,8 +216,8 @@ def cmd_timing(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    program = compile_w2(_load_source(args.program), unroll=args.unroll)
-    result = _simulate_with_exports(program, args)
+    program, cache = _compile_from_args(args)
+    result = _simulate_with_exports(program, args, cache=cache)
     print(
         f"ran {program.module_name!r} on {program.n_cells} cells: "
         f"{result.total_cycles} cycles, skew {result.skew}"
@@ -192,7 +232,12 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"error: --trace-cells {cells[0]} {cells[1]} out of range: "
                 f"module {program.module_name!r} has cells 0..{program.n_cells - 1}"
             )
-        print("\n" + format_two_cell_trace(result.trace, cells=cells))
+        print(
+            "\n"
+            + format_two_cell_trace(
+                result.trace, cells=cells, annotation=_cache_status(cache)
+            )
+        )
     if args.output:
         np.savez(args.output, **result.outputs)
         print(f"outputs written to {args.output}")
@@ -201,9 +246,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     """Per-phase compile timings plus cycle-level machine utilisation."""
+    cache = _make_cache(args)
     with obs.collecting() as telemetry:
-        program = compile_w2(_load_source(args.program), unroll=args.unroll)
-        result = _simulate_with_exports(program, args, telemetry)
+        program = compile_w2(
+            _load_source(args.program), unroll=args.unroll, cache=cache
+        )
+        result = _simulate_with_exports(program, args, telemetry, cache=cache)
+    print(_cache_status(cache))
     print(f"== compile phases: {program.module_name} ==")
     print(obs.format_phase_table(telemetry))
     print("\n== compile counters ==")
@@ -215,13 +264,84 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """Predicted (compile-time) vs measured (simulated) performance."""
-    program = compile_w2(_load_source(args.program), unroll=args.unroll)
-    result = _simulate_with_exports(program, args)
+    program, cache = _compile_from_args(args)
+    result = _simulate_with_exports(program, args, cache=cache)
     print(
         f"{program.module_name}: predicted vs measured "
         f"({program.n_cells} cells)"
     )
     print(obs.format_compare(predict_performance(program), result.machine_metrics))
+    return 0
+
+
+def _batch_input_sets(args: argparse.Namespace, program) -> list[dict[str, np.ndarray]]:
+    """The per-item input dicts of a ``batch`` invocation.
+
+    ``--inputs file.npz`` supplies every item at once (each array
+    carries a leading item axis); otherwise one ``--input`` set (or the
+    all-zeros default) is replicated ``--items`` times.
+    """
+    if args.inputs:
+        path = Path(args.inputs)
+        if not path.exists():
+            raise SystemExit(f"error: --inputs file {args.inputs!r} not found")
+        with np.load(path) as data:
+            arrays = {name: np.asarray(data[name]) for name in data.files}
+        if not arrays:
+            raise SystemExit(f"error: {args.inputs!r} contains no arrays")
+        lengths = {array.shape[0] for array in arrays.values() if array.ndim}
+        if len(lengths) != 1:
+            raise SystemExit(
+                "error: --inputs arrays must share one leading item axis "
+                f"(got lengths {sorted(lengths)})"
+            )
+        n_items = lengths.pop()
+        items = [
+            {name: array[i] for name, array in arrays.items()}
+            for i in range(n_items)
+        ]
+        if items:
+            _check_inputs(program, items[0])
+        return items
+    single = dict(_parse_input(spec) for spec in args.input or [])
+    _check_inputs(program, single)
+    if args.items < 1:
+        raise SystemExit("error: --items must be >= 1")
+    return [dict(single) for _ in range(args.items)]
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Compile once (through the cache), stream many input sets."""
+    program, cache = _compile_from_args(args)
+    input_sets = _batch_input_sets(args, program)
+    runner = BatchRunner(program, processes=args.processes)
+    result = runner.run(input_sets)
+    result.cache_event = cache.last_event if cache is not None else None
+    plural = "es" if result.processes != 1 else ""
+    print(
+        f"batch: {result.n_items} items through {program.module_name!r} "
+        f"on {program.n_cells} cells ({result.processes} process{plural})"
+    )
+    print(
+        f"    {result.cycles_per_item:.0f} cycles/item, "
+        f"{result.total_cycles} machine cycles total"
+    )
+    print(
+        f"    wall {result.wall_seconds:.3f}s, "
+        f"{result.items_per_second:.1f} items/s"
+    )
+    print(f"    {_cache_status(cache)}")
+    if args.metrics_out and result.results:
+        # Cell schedules are data-independent, so item 0's machine
+        # metrics represent every item; batch aggregates ride along.
+        document = obs.metrics_to_json(
+            result.results[0].machine_metrics, cache=cache, batch=result
+        )
+        Path(args.metrics_out).write_text(json.dumps(document, indent=2))
+        print(f"metrics written to {args.metrics_out}")
+    if args.output:
+        np.savez(args.output, **result.stacked_outputs())
+        print(f"outputs written to {args.output}")
     return 0
 
 
@@ -248,21 +368,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_cache_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            help="persist compiled artefacts in DIR (content-addressed; "
+            "corrupt entries silently recompile)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="bypass the compile cache entirely (never read or write)",
+        )
+
     compile_p = sub.add_parser("compile", help="compile a W2 module")
     compile_p.add_argument("program", help="W2 file or bundled program name")
     compile_p.add_argument("--unroll", type=int, default=1)
     compile_p.add_argument(
         "--listing", action="store_true", help="print the cell microcode"
     )
+    add_cache_options(compile_p)
     compile_p.set_defaults(func=cmd_compile)
 
     timing_p = sub.add_parser("timing", help="skew and buffer analysis")
     timing_p.add_argument("program")
     timing_p.add_argument("--unroll", type=int, default=1)
+    add_cache_options(timing_p)
     timing_p.set_defaults(func=cmd_timing)
 
     def add_simulation_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--unroll", type=int, default=1)
+        add_cache_options(p)
         p.add_argument(
             "--input",
             action="append",
@@ -310,6 +446,46 @@ def build_parser() -> argparse.ArgumentParser:
     compare_p.add_argument("program")
     add_simulation_options(compare_p)
     compare_p.set_defaults(func=cmd_compare)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="compile once (cached), stream many input sets through the "
+        "reused machine",
+    )
+    batch_p.add_argument("program")
+    batch_p.add_argument("--unroll", type=int, default=1)
+    batch_p.add_argument(
+        "--items", type=int, default=1, metavar="N",
+        help="replicate the --input set N times (ignored with --inputs)",
+    )
+    batch_p.add_argument(
+        "--input",
+        action="append",
+        metavar="NAME=VALUES",
+        help="one input set, replicated --items times: name=file.npy | "
+        "name=file.txt | name=1,2,3",
+    )
+    batch_p.add_argument(
+        "--inputs",
+        metavar="FILE.npz",
+        help="all items at once: every array carries a leading item axis",
+    )
+    batch_p.add_argument(
+        "--processes", type=int, default=0, metavar="N",
+        help="fan items out over N worker processes (default: in-process)",
+    )
+    batch_p.add_argument(
+        "--output",
+        help="write outputs stacked on a leading item axis to an .npz file",
+    )
+    batch_p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write item-0 machine metrics plus cache/batch aggregates "
+        "as JSON",
+    )
+    add_cache_options(batch_p)
+    batch_p.set_defaults(func=cmd_batch)
 
     examples_p = sub.add_parser("examples", help="list bundled programs")
     examples_p.set_defaults(func=cmd_examples)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..analysis import (
     CommReport,
@@ -39,6 +40,9 @@ from ..timing import (
     check_buffers,
     compute_skew,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..exec.cache import CompileCache
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,7 @@ def compile_w2(
     skew_method: str = "auto",
     unroll: int | str = 1,
     local_opt: bool = True,
+    cache: "CompileCache | None" = None,
 ) -> CompiledProgram:
     """Compile a W2 module for the Warp machine.
 
@@ -113,9 +118,28 @@ def compile_w2(
     scheduling, amortising block-drain cycles over several iterations
     (throughput optimisation; 1 = off).  ``unroll="auto"`` tries
     1/2/4/8 and keeps the fastest predicted schedule.
+
+    ``cache`` consults a :class:`~repro.exec.CompileCache` before doing
+    any work, keyed on the exact (source, config, flags) content hash;
+    a hit returns the cached artefact and skips every phase.  Telemetry
+    records ``cache.hit`` / ``cache.miss`` (and ``cache.disk_hit``)
+    counters either way.
     """
     started = time.perf_counter()
     obs = get_telemetry()
+    key: str | None = None
+    if cache is not None:
+        from ..exec.keys import cache_key
+
+        with obs.span("cache.lookup"):
+            key = cache_key(source, config, skew_method, unroll, local_opt)
+            cached = cache.get(key)
+        if cached is not None:
+            obs.counter("cache.hit")
+            if cache.last_event == "disk-hit":
+                obs.counter("cache.disk_hit")
+            return cached
+        obs.counter("cache.miss")
     with obs.span("frontend.lex"):
         tokens = tokenize(source)
     obs.counter("frontend.tokens", len(tokens))
@@ -205,7 +229,7 @@ def compile_w2(
         iu_registers=iu_program.n_registers_used,
         table_entries=iu_program.table_entries,
     )
-    return CompiledProgram(
+    program = CompiledProgram(
         source=source,
         ir=ir,
         cell_code=cell_code,
@@ -218,6 +242,9 @@ def compile_w2(
         metrics=metrics,
         mirrored=mirrored,
     )
+    if cache is not None and key is not None:
+        cache.put(key, program)
+    return program
 
 
 def _choose_unroll_factor(analyzed: AnalyzedModule, config: WarpConfig) -> int:

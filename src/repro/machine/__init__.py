@@ -7,15 +7,19 @@ from .cell import CellExecutor, CellStats, TraceEvent
 from .config import DEFAULT_CONFIG, CellConfig, IUConfig, WarpConfig
 from .host import HostMemory, collect_outputs, feed_input_queues
 from .iu_machine import IUMachine, run_iu_program
+from .plan import BlockPlan, DecodedInstr, ExecutionPlan
 from .queue import TimedQueue
 from .reference import interpret
 
 __all__ = [
+    "BlockPlan",
     "CellConfig",
     "CellExecutor",
     "CellMetrics",
     "CellStats",
     "DEFAULT_CONFIG",
+    "DecodedInstr",
+    "ExecutionPlan",
     "HostMemory",
     "IUConfig",
     "IUMachine",

@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - avoid circular import at run time
     from ..compiler.driver import CompiledProgram
 from .cell import CellExecutor, CellStats, TraceEvent
 from .host import HostMemory, collect_outputs, feed_input_queues
+from .plan import ExecutionPlan
 from .queue import TimedQueue
 
 
@@ -67,11 +68,26 @@ class SimulationResult:
 
 
 class WarpMachine:
-    """A configured Warp machine ready to run compiled programs."""
+    """A configured Warp machine ready to run compiled programs.
+
+    All state derived purely from the program (skip-idle block plans,
+    the IU address schedule, the host I/O sequences) is computed once
+    on first use and reused by every subsequent :meth:`run` — keep one
+    machine around when streaming many input sets through the same
+    program (see :class:`repro.exec.BatchRunner`).
+    """
 
     def __init__(self, program: "CompiledProgram"):
         self._program = program
         self._config = program.config
+        self._plan: ExecutionPlan | None = None
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The reusable static simulation state (built lazily)."""
+        if self._plan is None:
+            self._plan = ExecutionPlan(self._program)
+        return self._plan
 
     def run(
         self,
@@ -80,6 +96,7 @@ class WarpMachine:
         record: bool = False,
     ) -> SimulationResult:
         program = self._program
+        plan = self.plan
         n_cells = program.n_cells
         skew = program.skew.skew
         memory = HostMemory.from_inputs(program.ir.host_arrays, inputs)
@@ -97,11 +114,13 @@ class WarpMachine:
                     for channel in (Channel.X, Channel.Y)
                 }
             )
-        feed_input_queues(program.host_program, memory, links[0])
+        feed_input_queues(
+            program.host_program, memory, links[0], sequences=plan.input_refs
+        )
 
         # Address path: the same IU stream per cell, delayed by the hop
         # latency; emitted FIFO order is preserved.
-        emissions = list(program.iu_program.emission_times())
+        emissions = plan.emissions
         hop = self._config.address_hop_latency
 
         trace: list[TraceEvent] = []
@@ -123,12 +142,16 @@ class WarpMachine:
         end_time = 0
         for cell_index in range(n_cells):
             start = cell_index * skew
+            # Pre-materialised from the plan: the same IU stream for
+            # every cell, shifted by the hop delay (emission times are
+            # already non-decreasing, so no per-item enqueue checks).
+            offset = cell_index * hop
             address_queue = TimedQueue(
                 name=f"adr{cell_index}",
                 capacity=self._config.address_queue_depth,
+                send_times=[t + offset for t in plan.emission_times],
+                values=list(plan.emission_values),
             )
-            for emit_time, _deadline, address in emissions:
-                address_queue.enqueue(emit_time + cell_index * hop, float(address))
             executor = CellExecutor(
                 code=program.cell_code,
                 config=self._config.cell,
@@ -139,6 +162,7 @@ class WarpMachine:
                 address_queue=address_queue,
                 trace=tracer if trace_limit else None,
                 recorder=recorder,
+                block_plans=plan.blocks,
             )
             cell_stats = executor.run()
             stats.append(cell_stats)
@@ -154,7 +178,12 @@ class WarpMachine:
                     # would already have raised underflow.
                     pass
 
-        collect_outputs(program.host_program, memory, links[n_cells])
+        collect_outputs(
+            program.host_program,
+            memory,
+            links[n_cells],
+            bindings=plan.output_bindings,
+        )
 
         outputs = {
             name: memory.arrays[name].copy()

@@ -17,12 +17,12 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..cellcodegen.emit import CellCode, ScheduledBlock, ScheduledLoop
-from ..cellcodegen.isa import AddressSource, Lit, MicroInstr, Operand, Reg
-from ..analysis.local_opt import evaluate_pure
-from ..ir.dag import OpKind, QueueRef
+from ..cellcodegen.isa import AddressSource, Lit, Operand, Reg
+from ..ir.dag import QueueRef
 from ..lang.ast import Channel, Direction
 from ..config import CellConfig
 from ..obs.metrics import MachineRecorder
+from .plan import BlockPlan, DecodedInstr
 from .queue import TimedQueue
 
 
@@ -82,6 +82,7 @@ class CellExecutor:
         address_queue: TimedQueue,
         trace: Callable[[TraceEvent], None] | None = None,
         recorder: MachineRecorder | None = None,
+        block_plans: dict[int, BlockPlan] | None = None,
     ):
         self._code = code
         self._config = config
@@ -92,13 +93,18 @@ class CellExecutor:
         self._addr = address_queue
         self._trace = trace
         self._recorder = recorder
-        #: Issued-op count per block (static per schedule, cached).
-        self._issue_counts: dict[int, int] = {}
+        #: Skip-idle plans per block: shared across cells/runs when the
+        #: caller supplies them, otherwise built lazily for this cell.
+        self._block_plans = block_plans if block_plans is not None else {}
         self._registers = [0.0] * config.n_registers
         self._pending: list[tuple[int, int, int, float]] = []  # (time, seq, reg, value)
         self._seq = 0
         self._memory = [0.0] * config.memory_words
         self.stats = CellStats(cell=cell_index, start_time=start_time)
+        #: Queue resolution memo keyed by the (shared, immutable)
+        #: QueueRef object identity — direction asserts run once per
+        #: static reference instead of once per dynamic I/O.
+        self._queue_memo: dict[int, TimedQueue] = {}
 
     # Register file with delayed writeback --------------------------------
 
@@ -137,71 +143,83 @@ class CellExecutor:
         return time
 
     def _run_block(self, block: ScheduledBlock, time: int) -> int:
-        issued = self._issue_counts.get(block.block_id)
-        if issued is None:
-            issued = sum(
-                1 for instr in block.instructions if not instr.is_nop()
-            )
-            self._issue_counts[block.block_id] = issued
-        self.stats.issue_cycles += issued
+        plan = self._block_plans.get(block.block_id)
+        if plan is None:
+            plan = BlockPlan.of(block)
+            self._block_plans[block.block_id] = plan
+        self.stats.issue_cycles += plan.issued
         if self._recorder is not None:
             self._recorder.block(
-                self._cell, block.block_id, time, block.length, issued
+                self._cell, block.block_id, time, block.length, plan.issued
             )
-        for cycle, instr in enumerate(block.instructions):
-            if not instr.is_nop():
-                self._execute(instr, time + cycle)
+        # Skip-idle fast path: visit only the issuing cycles; nop ranges
+        # (latency bubbles, drain tails) advance the clock for free via
+        # the block length.
+        for decoded in plan.active:
+            self._execute(decoded, time + decoded.cycle)
         return time + block.length
 
-    def _execute(self, instr: MicroInstr, now: int) -> None:
-        self._apply_writebacks(now)
+    def _execute(self, decoded: DecodedInstr, now: int) -> None:
+        # Hot path: one call per *issuing* cycle per cell per run.  The
+        # instruction arrives pre-decoded (load/store split, pure-op
+        # evaluators resolved); locals and the identity-keyed queue memo
+        # keep the per-issue constant factor low.  Behaviour is
+        # identical to the attribute-walking form this replaces.
+        pending = self._pending
+        if pending and pending[0][0] <= now:
+            self._apply_writebacks(now)
         config = self._config
-        for deq in instr.deqs:
-            queue = self._queue_for(deq.queue, incoming=True)
+        stats = self.stats
+        queue_memo = self._queue_memo
+        read = self._read
+        for deq in decoded.deqs:
+            queue = queue_memo.get(id(deq.queue))
+            if queue is None:
+                queue = self._queue_for(deq.queue, incoming=True)
+                queue_memo[id(deq.queue)] = queue
             value = queue.dequeue(now)
             self._write_later(now + config.queue_latency, deq.dest, value)
-            self.stats.receives += 1
+            stats.receives += 1
             if self._trace:
                 self._trace(
                     TraceEvent(self._cell, now, "receive", str(deq.queue), value)
                 )
         # Memory: loads observe the pre-store contents of this cycle.
-        loads = [m for m in instr.mem if m.is_load]
-        stores = [m for m in instr.mem if not m.is_load]
-        for mem in loads:
+        for mem in decoded.loads:
             address = self._address(mem, now)
             value = self._memory[address]
             assert mem.reg is not None
             self._write_later(now + config.mem_read_latency, mem.reg, value)
-            self.stats.mem_reads += 1
-        for mem in stores:
+            stats.mem_reads += 1
+        for mem in decoded.stores:
             address = self._address(mem, now)
             assert mem.store_value is not None
-            self._memory[address] = self._read(mem.store_value)
-            self.stats.mem_writes += 1
-        if instr.alu:
-            values = [self._read(s) for s in instr.alu.sources]
-            result = evaluate_pure(instr.alu.op, values)
-            self._write_later(now + config.alu_latency, instr.alu.dest, result)
-            self.stats.alu_ops += 1
-        if instr.mpy:
-            values = [self._read(s) for s in instr.mpy.sources]
-            result = evaluate_pure(instr.mpy.op, values)
-            latency = (
-                config.div_latency
-                if instr.mpy.op is OpKind.FDIV
-                else config.mpy_latency
+            self._memory[address] = read(mem.store_value)
+            stats.mem_writes += 1
+        if decoded.alu is not None:
+            fn, sources, dest = decoded.alu
+            result = fn(*[read(s) for s in sources])
+            self._write_later(now + config.alu_latency, dest, result)
+            stats.alu_ops += 1
+        if decoded.mpy is not None:
+            fn, sources, dest, is_div = decoded.mpy
+            result = fn(*[read(s) for s in sources])
+            latency = config.div_latency if is_div else config.mpy_latency
+            self._write_later(now + latency, dest, result)
+            stats.mpy_ops += 1
+        move = decoded.move
+        if move is not None:
+            self._write_later(
+                now + config.move_latency, move.dest, read(move.source)
             )
-            self._write_later(now + latency, instr.mpy.dest, result)
-            self.stats.mpy_ops += 1
-        if instr.move:
-            value = self._read(instr.move.source)
-            self._write_later(now + config.move_latency, instr.move.dest, value)
-        for enq in instr.enqs:
-            queue = self._queue_for(enq.queue, incoming=False)
-            value = self._read(enq.source)
+        for enq in decoded.enqs:
+            queue = queue_memo.get(id(enq.queue))
+            if queue is None:
+                queue = self._queue_for(enq.queue, incoming=False)
+                queue_memo[id(enq.queue)] = queue
+            value = read(enq.source)
             queue.enqueue(now, value)
-            self.stats.sends += 1
+            stats.sends += 1
             if self._trace:
                 self._trace(
                     TraceEvent(self._cell, now, "send", str(enq.queue), value)

@@ -58,11 +58,22 @@ def feed_input_queues(
     host_program: HostProgram,
     memory: HostMemory,
     queues: dict[Channel, TimedQueue],
+    sequences: dict[Channel, list] | None = None,
 ) -> None:
     """Load cell 0's input queues: item ``k`` arrives at cycle ``k``
-    (one word per cycle per channel)."""
+    (one word per cycle per channel).
+
+    ``sequences`` optionally supplies the per-channel input references
+    precomputed by an :class:`~repro.machine.plan.ExecutionPlan`, so
+    batched runs do not re-derive them from the host program.
+    """
     for channel, queue in queues.items():
-        for k, ref in enumerate(host_program.input_sequence(channel)):
+        refs = (
+            sequences[channel]
+            if sequences is not None
+            else host_program.input_sequence(channel)
+        )
+        for k, ref in enumerate(refs):
             if ref.is_literal:
                 value = float(ref.literal)  # type: ignore[arg-type]
             else:
@@ -81,16 +92,24 @@ def collect_outputs(
     host_program: HostProgram,
     memory: HostMemory,
     queues: dict[Channel, TimedQueue],
+    bindings: dict[Channel, list] | None = None,
 ) -> None:
-    """Scatter the last cell's output streams into host memory."""
+    """Scatter the last cell's output streams into host memory.
+
+    ``bindings`` optionally supplies precomputed per-channel output
+    bindings (see :func:`feed_input_queues`)."""
     for channel, queue in queues.items():
-        bindings = list(host_program.output_bindings(channel))
-        if len(bindings) != queue.items_sent:
+        channel_bindings = (
+            bindings[channel]
+            if bindings is not None
+            else list(host_program.output_bindings(channel))
+        )
+        if len(channel_bindings) != queue.items_sent:
             raise HostDataError(
                 f"channel {channel}: the last cell sent {queue.items_sent} "
-                f"items but the host program expects {len(bindings)}"
+                f"items but the host program expects {len(channel_bindings)}"
             )
-        for binding, value in zip(bindings, queue.values):
+        for binding, value in zip(channel_bindings, queue.values):
             if binding.is_discard:
                 continue
             assert binding.array is not None and binding.flat_index is not None

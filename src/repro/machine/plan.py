@@ -1,0 +1,151 @@
+"""Static, reusable simulation state derived from one compiled program.
+
+Everything here is a pure function of the :class:`CompiledProgram` —
+independent of the cell index, the input data and the run — so one
+:class:`ExecutionPlan` is shared by all cells of a run and by every run
+of a batch:
+
+* **Skip-idle block plans.**  Scheduled blocks are dominated by nop
+  cycles (latency bubbles and drain ranges; 30–50% of instruction slots
+  on the Table 7-1 programs).  A :class:`BlockPlan` keeps only the
+  issuing cycles, so the executor jumps from one active cycle to the
+  next instead of ticking through provably idle ranges — the cycle
+  arithmetic is unchanged because each active instruction carries its
+  offset and the block's total length still advances the clock.
+* **The IU address schedule** (``emissions``), identical for every cell
+  up to the per-hop delay, rather than re-walked per run.
+* **The host I/O sequences** (input references and output bindings per
+  channel), rather than re-derived from the host program per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TYPE_CHECKING
+
+from ..analysis.local_opt import pure_evaluator
+from ..cellcodegen.emit import CellCode, ScheduledBlock
+from ..cellcodegen.isa import (
+    DeqOp,
+    EnqOp,
+    MemOp,
+    MicroInstr,
+    MoveOp,
+    Operand,
+    Reg,
+)
+from ..ir.dag import OpKind
+from ..lang.ast import Channel
+
+if TYPE_CHECKING:  # pragma: no cover - circular import at run time
+    from ..compiler.driver import CompiledProgram
+    from ..hostcodegen.io_program import HostBinding, HostValueRef
+
+
+@dataclass(slots=True)
+class DecodedInstr:
+    """One issuing micro-instruction, pre-decoded for execution.
+
+    Decoding resolves everything that is the same on every dynamic
+    issue — the load/store split, the pure-op evaluation functions, the
+    operand tuples — so the executor's hot loop does no dispatch, only
+    state updates.  ``instr`` stays attached for tracing and listings.
+    """
+
+    cycle: int
+    instr: MicroInstr
+    deqs: tuple[DeqOp, ...]
+    loads: tuple[MemOp, ...]
+    stores: tuple[MemOp, ...]
+    #: ``(evaluator, sources, dest)`` or ``None``.
+    alu: tuple[Callable[..., float], tuple[Operand, ...], Reg] | None
+    #: ``(evaluator, sources, dest, is_divide)`` or ``None``.
+    mpy: tuple[Callable[..., float], tuple[Operand, ...], Reg, bool] | None
+    move: MoveOp | None
+    enqs: tuple[EnqOp, ...]
+
+    @classmethod
+    def of(cls, cycle: int, instr: MicroInstr) -> "DecodedInstr":
+        alu = mpy = None
+        if instr.alu is not None:
+            fn = pure_evaluator(instr.alu.op)
+            assert fn is not None, instr.alu.op
+            alu = (fn, tuple(instr.alu.sources), instr.alu.dest)
+        if instr.mpy is not None:
+            fn = pure_evaluator(instr.mpy.op)
+            assert fn is not None, instr.mpy.op
+            mpy = (
+                fn,
+                tuple(instr.mpy.sources),
+                instr.mpy.dest,
+                instr.mpy.op is OpKind.FDIV,
+            )
+        return cls(
+            cycle=cycle,
+            instr=instr,
+            deqs=tuple(instr.deqs),
+            loads=tuple(m for m in instr.mem if m.is_load),
+            stores=tuple(m for m in instr.mem if not m.is_load),
+            alu=alu,
+            mpy=mpy,
+            move=instr.move,
+            enqs=tuple(instr.enqs),
+        )
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """One scheduled block, reduced to its issuing cycles."""
+
+    length: int
+    #: Number of non-nop instructions (the block's issue count).
+    issued: int
+    #: The non-nop instructions, pre-decoded, in cycle order.
+    active: tuple[DecodedInstr, ...]
+
+    @classmethod
+    def of(cls, block: ScheduledBlock) -> "BlockPlan":
+        active = tuple(
+            DecodedInstr.of(cycle, instr)
+            for cycle, instr in enumerate(block.instructions)
+            if not instr.is_nop()
+        )
+        return cls(length=block.length, issued=len(active), active=active)
+
+
+def block_plans(code: CellCode) -> dict[int, BlockPlan]:
+    """A :class:`BlockPlan` per static block of ``code``."""
+    return {block.block_id: BlockPlan.of(block) for block in code.blocks()}
+
+
+class ExecutionPlan:
+    """All static per-program simulation state, computed once."""
+
+    def __init__(self, program: "CompiledProgram"):
+        self.blocks: dict[int, BlockPlan] = block_plans(program.cell_code)
+        #: ``(emit_time, deadline, address)`` per dynamic IU emission.
+        self.emissions: list[tuple[int, int, int]] = list(
+            program.iu_program.emission_times()
+        )
+        #: The emission schedule split into parallel time/value lists so
+        #: a cell's address queue is a couple of list copies, not a
+        #: per-item enqueue loop.
+        self.emission_times: list[int] = [t for t, _d, _a in self.emissions]
+        self.emission_values: list[float] = [
+            float(a) for _t, _d, a in self.emissions
+        ]
+        self.input_refs: dict[Channel, list["HostValueRef"]] = {
+            channel: list(program.host_program.input_sequence(channel))
+            for channel in (Channel.X, Channel.Y)
+        }
+        self.output_bindings: dict[Channel, list["HostBinding"]] = {
+            channel: list(program.host_program.output_bindings(channel))
+            for channel in (Channel.X, Channel.Y)
+        }
+
+    @property
+    def skipped_slots(self) -> int:
+        """Instruction slots the fast path never visits (nop cycles)."""
+        return sum(
+            plan.length - plan.issued for plan in self.blocks.values()
+        )

@@ -14,6 +14,7 @@ def format_two_cell_trace(
     trace: list[TraceEvent],
     max_rows: int = 24,
     cells: tuple[int, int] = (0, 1),
+    annotation: str | None = None,
 ) -> str:
     """Two-column rendering of a cell pair's I/O events in time order.
 
@@ -21,9 +22,14 @@ def format_two_cell_trace(
     the pair is adjacent, sends of the left cell on the rightward
     channels line up with the receives of the right cell that consume
     them.  If ``max_rows`` cuts events off, a final line reports how
-    many were omitted."""
+    many were omitted.  ``annotation`` adds a provenance line above the
+    header (e.g. the compile-cache status of the traced run, so a trace
+    from a cached artefact is distinguishable from a fresh compile)."""
     left, right = cells
-    rows: list[str] = [f"{f'Cell {left}':<36}{f'Cell {right}'}"]
+    rows: list[str] = []
+    if annotation:
+        rows.append(f"[{annotation}]")
+    rows.append(f"{f'Cell {left}':<36}{f'Cell {right}'}")
     events = sorted(
         (e for e in trace if e.cell in (left, right)),
         key=lambda e: (e.time, e.cell, e.kind == "send"),

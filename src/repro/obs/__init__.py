@@ -38,6 +38,7 @@ from .metrics import (
     queue_metrics_from_times,
 )
 from .report import (
+    format_cache_status,
     format_compare,
     format_counters,
     format_phase_table,
@@ -62,6 +63,7 @@ __all__ = [
     "compile_trace_events",
     "disable",
     "enable",
+    "format_cache_status",
     "format_compare",
     "format_counters",
     "format_phase_table",

@@ -121,6 +121,27 @@ def format_compare(prediction, metrics: MachineMetrics) -> str:
     return "\n".join(lines)
 
 
+def format_cache_status(event: str | None, stats=None) -> str:
+    """One-line compile-cache status for CLI reports.
+
+    ``event`` is :attr:`repro.exec.CompileCache.last_event` (``None``
+    means caching was disabled or never consulted); ``stats`` is the
+    cache's :class:`~repro.exec.CacheStats`, summarised when given.
+    """
+    if event is None:
+        return "compile cache: disabled"
+    line = f"compile cache: {event}"
+    if stats is not None:
+        line += (
+            f" ({stats.lookups} lookups: {stats.memory_hits} memory hits, "
+            f"{stats.disk_hits} disk hits, {stats.misses} misses"
+        )
+        if stats.disk_errors:
+            line += f", {stats.disk_errors} disk errors"
+        line += ")"
+    return line
+
+
 def telemetry_to_json(telemetry: Telemetry) -> dict[str, Any]:
     origin = min((s.start for s in telemetry.spans), default=0.0)
     return {
@@ -144,8 +165,15 @@ def metrics_to_json(
     metrics: MachineMetrics,
     prediction=None,
     telemetry: Telemetry | None = None,
+    cache=None,
+    batch=None,
 ) -> dict[str, Any]:
-    """The structured metrics report (``--metrics-out``)."""
+    """The structured metrics report (``--metrics-out``).
+
+    ``cache`` is a :class:`~repro.exec.CompileCache` (its hit/miss
+    accounting lands under ``"cache"``); ``batch`` is a
+    :class:`~repro.exec.BatchResult` (aggregate throughput lands under
+    ``"batch"``)."""
     document: dict[str, Any] = {
         "total_cycles": metrics.total_cycles,
         "skew": metrics.skew,
@@ -208,4 +236,16 @@ def metrics_to_json(
         }
     if telemetry is not None and telemetry.spans:
         document["compile"] = telemetry_to_json(telemetry)
+    if cache is not None:
+        document["cache"] = dict(cache.stats.to_json())
+        document["cache"]["last_event"] = cache.last_event
+    if batch is not None:
+        document["batch"] = {
+            "items": batch.n_items,
+            "processes": batch.processes,
+            "total_cycles": batch.total_cycles,
+            "cycles_per_item": batch.cycles_per_item,
+            "wall_seconds": batch.wall_seconds,
+            "items_per_second": batch.items_per_second,
+        }
     return document

@@ -5,7 +5,17 @@ import json
 import numpy as np
 import pytest
 
+import repro.exec.cache as cache_module
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    """Each CLI test starts with an empty process-wide compile cache, so
+    hit/miss expectations don't depend on test order."""
+    cache_module._default_cache = None
+    yield
+    cache_module._default_cache = None
 
 
 class TestCompileCommand:
@@ -227,3 +237,149 @@ class TestOtherCommands:
 
     def test_unroll_option(self, capsys):
         assert main(["compile", "polynomial", "--unroll", "4"]) == 0
+
+
+class TestBatchCommand:
+    def test_replicated_input(self, capsys):
+        assert main(
+            ["batch", "passthrough", "--items", "4", "--input", "din=1,2,3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch: 4 items" in out
+        assert "cycles/item" in out and "items/s" in out
+        assert "compile cache:" in out
+
+    def test_npz_inputs_and_stacked_output(self, tmp_path, capsys):
+        items = np.arange(12.0).reshape(3, 4)  # 3 items of din[4]
+        np.savez(tmp_path / "items.npz", din=items)
+        out_path = tmp_path / "out.npz"
+        assert main(
+            [
+                "batch",
+                "passthrough",
+                "--inputs",
+                str(tmp_path / "items.npz"),
+                "--output",
+                str(out_path),
+            ]
+        ) == 0
+        assert "batch: 3 items" in capsys.readouterr().out
+        stored = np.load(out_path)
+        assert stored["dout"].shape[0] == 3
+        for i in range(3):
+            assert np.allclose(stored["dout"][i][:4], items[i])
+
+    def test_batch_matches_run_outputs(self, tmp_path, capsys):
+        """One batch item produces exactly what `run` produces."""
+        run_out = tmp_path / "run.npz"
+        batch_out = tmp_path / "batch.npz"
+        args = ["passthrough", "--input", "din=5,6,7"]
+        assert main(["run", *args, "--output", str(run_out)]) == 0
+        assert main(
+            ["batch", *args, "--items", "1", "--output", str(batch_out)]
+        ) == 0
+        one_shot = np.load(run_out)
+        batched = np.load(batch_out)
+        assert np.array_equal(batched["dout"][0], one_shot["dout"])
+
+    def test_metrics_out_includes_batch_and_cache(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "batch",
+                "passthrough",
+                "--items",
+                "2",
+                "--metrics-out",
+                str(path),
+            ]
+        ) == 0
+        document = json.loads(path.read_text())
+        assert document["batch"]["items"] == 2
+        assert document["batch"]["total_cycles"] > 0
+        assert document["cache"]["misses"] == 1
+        assert document["cache"]["last_event"] == "miss"
+
+    def test_mismatched_item_axes_is_a_clear_error(self, tmp_path):
+        np.savez(
+            tmp_path / "bad.npz",
+            z=np.zeros((3, 5)),
+            c=np.zeros((4, 2)),
+        )
+        with pytest.raises(SystemExit) as info:
+            main(["batch", "polynomial", "--inputs", str(tmp_path / "bad.npz")])
+        assert "leading item axis" in str(info.value)
+
+    def test_missing_inputs_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["batch", "passthrough", "--inputs", str(tmp_path / "no.npz")])
+
+    def test_bad_items_count(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "passthrough", "--items", "0"])
+
+
+class TestCacheOptions:
+    def test_profile_reports_cache_status(self, capsys):
+        assert main(["profile", "passthrough"]) == 0
+        first = capsys.readouterr().out
+        assert "compile cache: miss" in first
+        # Same process, same default cache: second profile hits memory.
+        assert main(["profile", "passthrough"]) == 0
+        second = capsys.readouterr().out
+        assert "compile cache: memory-hit" in second
+
+    def test_no_cache_disables_caching(self, capsys):
+        assert main(["profile", "passthrough", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "compile cache: disabled" in out
+        # Nothing was warmed: a cached profile still starts cold.
+        assert main(["profile", "passthrough"]) == 0
+        assert "compile cache: miss" in capsys.readouterr().out
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["profile", "passthrough", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        assert "compile cache: miss" in capsys.readouterr().out
+        assert list(cache_dir.glob("*.w2c"))
+        # A fresh invocation builds a fresh CompileCache: the hit comes
+        # from disk, not memory.
+        assert main(args) == 0
+        assert "compile cache: disk-hit" in capsys.readouterr().out
+
+    def test_run_trace_annotates_cache_status(self, capsys):
+        assert main(
+            ["run", "passthrough", "--input", "din=1,2", "--trace", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[compile cache: miss" in out
+
+    def test_compare_no_cache_never_reads_stale_state(
+        self, tmp_path, capsys
+    ):
+        """`compare --no-cache` must reflect the file as it is *now*,
+        even after a warm cached compile of an earlier version."""
+        from repro.programs import passthrough
+
+        prog = tmp_path / "prog.w2"
+        cache_dir = tmp_path / "cache"
+        prog.write_text(passthrough(4, 2))
+        assert main(
+            ["compare", str(prog), "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "(2 cells)" in capsys.readouterr().out
+        entries_before = sorted(cache_dir.glob("*.w2c"))
+
+        prog.write_text(passthrough(4, 3))  # the program changed on disk
+        assert main(["compare", str(prog), "--no-cache"]) == 0
+        assert "(3 cells)" in capsys.readouterr().out
+        # --no-cache neither read nor wrote any cache state.
+        assert sorted(cache_dir.glob("*.w2c")) == entries_before
+
+    def test_compile_and_timing_accept_cache_flags(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["compile", "passthrough", "--cache-dir", cache_dir]) == 0
+        assert main(["timing", "passthrough", "--cache-dir", cache_dir]) == 0
+        assert main(["compile", "passthrough", "--no-cache"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,70 @@
+"""Golden-file tests for the cell microcode listings.
+
+Three fixed small programs are compiled and their
+:func:`repro.cellcodegen.listing.format_cell_code` output compared
+*character for character* against ``tests/goldens/*.listing``.  Any
+change to scheduling, register allocation or the listing format shows
+up as a diff here; run ``pytest --update-goldens`` to accept an
+intentional change and review the new files in the commit.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.cellcodegen.listing import format_cell_code
+from repro.compiler import compile_w2
+from repro.programs import conv1d, passthrough, polynomial
+
+GOLDENS_DIR = Path(__file__).resolve().parent / "goldens"
+
+#: name -> (W2 source, compile kwargs).  Parameters are pinned: goldens
+#: are exact artefacts, not families.
+GOLDEN_PROGRAMS = {
+    "polynomial_8x3": (polynomial(8, 3), {}),
+    "conv1d_12x3": (conv1d(12, 3), {}),
+    "passthrough_8x2_unroll2": (passthrough(8, 2), {"unroll": 2}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PROGRAMS))
+def test_listing_matches_golden(name, update_goldens):
+    source, kwargs = GOLDEN_PROGRAMS[name]
+    program = compile_w2(source, **kwargs)
+    listing = format_cell_code(program.cell_code) + "\n"
+    golden_path = GOLDENS_DIR / f"{name}.listing"
+
+    if update_goldens:
+        GOLDENS_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(listing)
+        return
+
+    assert golden_path.exists(), (
+        f"missing golden {golden_path.name}; run pytest --update-goldens"
+    )
+    expected = golden_path.read_text()
+    if listing != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                listing.splitlines(),
+                fromfile=f"goldens/{name}.listing",
+                tofile="current output",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"listing for {name} changed (run pytest --update-goldens "
+            f"if intentional):\n{diff}"
+        )
+
+
+def test_goldens_directory_has_no_strays():
+    """Every golden on disk corresponds to a case above (catches
+    renamed cases leaving stale files behind)."""
+    expected = {f"{name}.listing" for name in GOLDEN_PROGRAMS}
+    actual = {path.name for path in GOLDENS_DIR.glob("*.listing")}
+    assert actual == expected

@@ -1,11 +1,20 @@
-"""Unit tests for the AST-level reference interpreter."""
+"""Unit tests for the AST-level reference interpreter, plus the
+differential sweep: every bundled program and every ``examples/`` W2
+source through both the cycle simulator and the interpreter, with
+bit-identical outputs (and the batched path bit-identical to one-shot,
+item for item)."""
+
+import importlib.util
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.compiler import compile_w2
 from repro.errors import HostDataError
+from repro.exec import BatchRunner
 from repro.lang import analyze, parse_module
-from repro.machine import interpret
+from repro.machine import interpret, simulate
 
 
 def run(source, inputs):
@@ -223,3 +232,116 @@ end
 """
         outputs = run(src, {"a": np.array([1.0, 5.0, 11.0, -1.0])})
         assert list(outputs["b"]) == [1.0, 0.0, 1.0, 0.0]
+
+
+# Differential sweep: simulator vs reference interpreter ------------------
+
+#: Programs whose compiled arithmetic is *reassociated* (height
+#: reduction rebalances the conv2d row sum), so the simulator rounds
+#: differently from the source-order interpreter.  Everything else must
+#: match bit for bit.
+REASSOCIATED = {"conv2d"}
+
+#: With unrolling, height reduction also rebalances the per-iteration
+#: accumulation chains of these programs (`acc := acc + w*x` unrolled
+#: N times becomes a balanced tree), so the unrolled sweep compares
+#: them with tolerance too.
+REASSOCIATED_UNROLLED = REASSOCIATED | {"matmul", "fir_bank"}
+
+
+def _example_w2_sources() -> list[tuple[str, str]]:
+    """(name, W2 source) for every source literal under ``examples/``."""
+    examples = Path(__file__).resolve().parent.parent / "examples"
+    sources = []
+    for path in sorted(examples.glob("*.py")):
+        text = path.read_text()
+        if "\nSOURCE = " not in text:
+            continue
+        spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        sources.append((path.stem, module.SOURCE))
+    return sources
+
+
+def _assert_outputs_equal(name, simulated, reference, reassociated=REASSOCIATED):
+    """Simulator outputs vs interpreter outputs, bit-identical unless
+    the program's arithmetic is reassociated by the optimiser."""
+    assert set(simulated) == set(reference)
+    for out_name in sorted(reference):
+        got, expected = simulated[out_name], reference[out_name]
+        if name in reassociated:
+            np.testing.assert_allclose(
+                got, expected, rtol=1e-9, atol=1e-12,
+                err_msg=f"{name}:{out_name}",
+            )
+        else:
+            assert np.array_equal(got, expected), (
+                f"{name}:{out_name} differs between simulator and "
+                f"reference interpreter"
+            )
+
+
+class TestDifferentialSweep:
+    """The cycle simulator and the AST interpreter agree on every
+    program, bit for bit (modulo documented reassociation)."""
+
+    def test_bundled_programs(self, program_suite):
+        for name, source, inputs, _ref in program_suite:
+            program = compile_w2(source)
+            result = simulate(program, inputs)
+            reference = interpret(analyze(parse_module(source)), inputs)
+            _assert_outputs_equal(name, result.outputs, reference)
+
+    @pytest.mark.parametrize("unroll", [2, "auto"])
+    def test_bundled_programs_unrolled(self, program_suite, unroll):
+        """Unrolling changes schedules, never results."""
+        for name, source, inputs, _ref in program_suite:
+            program = compile_w2(source, unroll=unroll)
+            result = simulate(program, inputs)
+            reference = interpret(analyze(parse_module(source)), inputs)
+            _assert_outputs_equal(
+                name, result.outputs, reference, REASSOCIATED_UNROLLED
+            )
+
+    def test_example_sources(self, rng):
+        cases = _example_w2_sources()
+        assert cases, "examples/ should contribute at least one W2 source"
+        for name, source in cases:
+            program = compile_w2(source)
+            inputs = {
+                array: rng.standard_normal(
+                    int(np.prod(dims)) if dims else 1
+                )
+                for array, dims in program.ir.host_arrays.items()
+            }
+            result = simulate(program, inputs)
+            reference = interpret(analyze(parse_module(source)), inputs)
+            _assert_outputs_equal(name, result.outputs, reference)
+
+
+class TestBatchedMatchesOneShot:
+    """The batched path is bit-identical to one-shot simulation, item
+    for item, for every bundled program (no tolerance here: batching
+    must never change what the machine computes)."""
+
+    def test_bundled_programs_item_for_item(self, program_suite, rng):
+        for name, source, inputs, _ref in program_suite:
+            program = compile_w2(source)
+            items = [inputs] + [
+                {
+                    array: rng.standard_normal(values.shape)
+                    for array, values in inputs.items()
+                }
+                for _ in range(2)
+            ]
+            batched = BatchRunner(program).run(items)
+            assert batched.n_items == len(items)
+            for item, result in zip(items, batched.results):
+                one_shot = simulate(program, item)
+                assert set(result.outputs) == set(one_shot.outputs)
+                for out_name, expected in one_shot.outputs.items():
+                    assert np.array_equal(
+                        result.outputs[out_name], expected
+                    ), f"{name}:{out_name} batched != one-shot"
+                assert result.total_cycles == one_shot.total_cycles
