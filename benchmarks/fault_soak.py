@@ -1,0 +1,113 @@
+"""Seeded fault-injection soak: random plans, forever-or-for-N-seconds.
+
+Hammers the bundled programs with seed-derived
+:class:`~repro.faults.InjectionPlan`\\ s and asserts the one invariant
+the fault layer promises: a faulty run either completes **bit-identical**
+to the clean run or raises a structured
+:class:`~repro.errors.SimulationError`.  Any third outcome — a wrong
+answer without an exception — aborts the soak with the seed that
+produced it, so a failure is a one-line repro::
+
+    python -m repro run polynomial --inject random:seed=<seed>
+
+Usage (CI runs the 2-minute variant)::
+
+    PYTHONPATH=src python benchmarks/fault_soak.py --seconds 120 --seed 20260806
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.compiler import compile_w2
+from repro.errors import SimulationError
+from repro.faults import FaultInjector, InjectionPlan
+from repro.machine import simulate
+from repro.programs import conv1d, passthrough, polynomial
+
+#: name -> (W2 source, input generator).  The same fleet as
+#: tests/test_faults_matrix.py.
+PROGRAMS = {
+    "polynomial": (
+        polynomial(12, 4),
+        lambda rng: {
+            "z": rng.standard_normal(12),
+            "c": rng.standard_normal(4),
+        },
+    ),
+    "conv1d": (
+        conv1d(12, 3),
+        lambda rng: {
+            "x": rng.standard_normal(12),
+            "w": rng.standard_normal(3),
+        },
+    ),
+    "passthrough": (
+        passthrough(8, 2),
+        lambda rng: {"din": rng.standard_normal(8)},
+    ),
+}
+
+
+def soak(seconds: float, seed: int) -> int:
+    rng = np.random.default_rng(seed)
+    fleet = []
+    for name, (source, gen) in sorted(PROGRAMS.items()):
+        program = compile_w2(source)
+        inputs = gen(rng)
+        clean = simulate(program, inputs)
+        fleet.append((name, program, inputs, clean))
+
+    deadline = time.monotonic() + seconds
+    runs = recovered = detected = 0
+    plan_seed = seed
+    while time.monotonic() < deadline:
+        for name, program, inputs, clean in fleet:
+            plan_seed += 1
+            plan = InjectionPlan.random(plan_seed, n_cells=program.n_cells)
+            injector = FaultInjector(plan)
+            runs += 1
+            try:
+                result = simulate(program, inputs, faults=injector)
+            except SimulationError as error:
+                detected += 1
+                continue
+            for out, data in clean.outputs.items():
+                if not np.array_equal(result.outputs[out], data):
+                    print(
+                        f"SILENT WRONG ANSWER: program={name} "
+                        f"seed={plan_seed} output={out!r}\n"
+                        f"  plan: {[s.describe() for s in plan.specs]}\n"
+                        f"  fired: {injector.report()}",
+                        file=sys.stderr,
+                    )
+                    return 1
+            recovered += 1
+    print(
+        f"soak OK: {runs} faulty runs in {seconds:.0f}s "
+        f"({recovered} recovered bit-identical, {detected} detected), "
+        f"0 silent wrong answers"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seconds", type=float, default=120.0,
+        help="soak duration (default: 120)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20260806,
+        help="base seed; plan seeds count up from here (default: 20260806)",
+    )
+    args = parser.parse_args(argv)
+    return soak(args.seconds, args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,11 @@ Package map:
   AST-level reference interpreter;
 * :mod:`repro.models` — abstract SIMD vs. skewed execution models
   (Section 3);
-* :mod:`repro.programs` — the Table 7-1 evaluation programs.
+* :mod:`repro.programs` — the Table 7-1 evaluation programs;
+* :mod:`repro.exec` — compile cache and batched execution engine
+  (retries, per-item timeouts, partial results);
+* :mod:`repro.faults` — deterministic, seedable fault injection
+  (see ``docs/robustness.md``).
 """
 
 __version__ = "1.0.0"
@@ -41,15 +45,22 @@ from .exec import (
     BatchResult,
     BatchRunner,
     CompileCache,
+    ItemFailure,
     compile_cached,
     run_batch,
 )
+from .faults import FaultInjector, FaultKind, FaultSpec, InjectionPlan
 from .lang import analyze, parse_module
 from .machine import SimulationResult, WarpMachine, interpret, simulate
 
 __all__ = [
     "BatchResult",
     "BatchRunner",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "InjectionPlan",
+    "ItemFailure",
     "CellConfig",
     "CompileCache",
     "CompiledProgram",

@@ -44,7 +44,7 @@ from .compiler import (
     format_performance,
     predict_performance,
 )
-from .errors import HostDataError
+from .errors import HostDataError, SimulationError
 from .exec import BatchRunner, CompileCache, default_cache
 from .lang import Channel
 from .machine import simulate
@@ -94,26 +94,59 @@ def _parse_input(spec: str) -> tuple[str, np.ndarray]:
         raise SystemExit(f"error: cannot parse input {spec!r}") from None
 
 
-def _make_cache(args: argparse.Namespace) -> CompileCache | None:
+def _injection_plan(args: argparse.Namespace):
+    """The :class:`~repro.faults.InjectionPlan` of the ``--inject``
+    flags (``None`` when no faults were requested)."""
+    specs = getattr(args, "inject", None)
+    if not specs:
+        return None
+    from .faults import parse_inject_specs
+
+    try:
+        return parse_inject_specs(specs)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+
+
+def _make_cache(
+    args: argparse.Namespace, faults=None
+) -> CompileCache | None:
     """The compile cache selected by ``--cache-dir`` / ``--no-cache``.
 
     Default: the process-wide in-memory cache.  ``--cache-dir`` adds the
     on-disk layer; ``--no-cache`` disables caching entirely (the compile
-    neither reads nor writes any cache state).
+    neither reads nor writes any cache state).  An injection plan with
+    cache faults attaches a corrupting injector to a *private* disk
+    cache (never the shared default — faulty runs must not poison it).
     """
     if getattr(args, "no_cache", False):
         return None
     cache_dir = getattr(args, "cache_dir", None)
+    injector = None
+    if faults is not None and faults.has_cache_faults:
+        from .faults import FaultInjector
+
+        injector = FaultInjector(faults)
+        if not cache_dir:
+            # Cache corruption needs a disk layer to corrupt; without
+            # --cache-dir there is nothing to inject into.
+            raise SystemExit(
+                "error: --inject corrupt_cache requires --cache-dir"
+            )
     if cache_dir:
-        return CompileCache(cache_dir=cache_dir)
+        return CompileCache(cache_dir=cache_dir, injector=injector)
     return default_cache()
 
 
-def _compile_from_args(args: argparse.Namespace):
-    """Compile the requested program through the selected cache."""
-    cache = _make_cache(args)
+def _compile_from_args(args: argparse.Namespace, faults=None):
+    """Compile the requested program through the selected cache (the
+    injection plan, when present, partitions the cache key)."""
+    cache = _make_cache(args, faults=faults)
     program = compile_w2(
-        _load_source(args.program), unroll=args.unroll, cache=cache
+        _load_source(args.program),
+        unroll=args.unroll,
+        cache=cache,
+        faults=faults,
     )
     return program, cache
 
@@ -146,7 +179,7 @@ def _check_inputs(program, inputs: dict[str, np.ndarray]) -> None:
             )
 
 
-def _simulate_with_exports(program, args, telemetry=None, cache=None):
+def _simulate_with_exports(program, args, telemetry=None, cache=None, faults=None):
     """Simulate honouring ``--trace-out`` / ``--metrics-out``."""
     inputs = dict(_parse_input(spec) for spec in args.input or [])
     _check_inputs(program, inputs)
@@ -157,6 +190,7 @@ def _simulate_with_exports(program, args, telemetry=None, cache=None):
         inputs,
         trace_limit=getattr(args, "trace", 0),
         record=bool(trace_out),
+        faults=faults,
     )
     if trace_out:
         obs.write_chrome_trace(
@@ -216,8 +250,38 @@ def cmd_timing(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    program, cache = _compile_from_args(args)
-    result = _simulate_with_exports(program, args, cache=cache)
+    plan = _injection_plan(args)
+    program, cache = _compile_from_args(args, faults=plan)
+    attempt = 0
+    while True:
+        injector = None
+        if plan is not None:
+            from .faults import FaultInjector
+
+            injector = FaultInjector(plan, item=0, attempt=attempt)
+        try:
+            result = _simulate_with_exports(
+                program, args, cache=cache, faults=injector
+            )
+            break
+        except SimulationError as error:
+            if plan is None:
+                raise
+            if attempt < getattr(args, "max_retries", 0):
+                attempt += 1
+                print(f"retry {attempt}: {type(error).__name__}: {error}")
+                continue
+            print(
+                f"fault detected after {attempt + 1} attempt(s): "
+                f"{type(error).__name__}: {error}",
+                file=sys.stderr,
+            )
+            if injector is not None:
+                for line in injector.report():
+                    print(f"    injected: {line}", file=sys.stderr)
+            return 3
+    for line in result.fault_report:
+        print(f"    injected (recovered): {line}")
     print(
         f"ran {program.module_name!r} on {program.n_cells} cells: "
         f"{result.total_cycles} cycles, skew {result.skew}"
@@ -312,9 +376,19 @@ def _batch_input_sets(args: argparse.Namespace, program) -> list[dict[str, np.nd
 
 def cmd_batch(args: argparse.Namespace) -> int:
     """Compile once (through the cache), stream many input sets."""
-    program, cache = _compile_from_args(args)
+    plan = _injection_plan(args)
+    program, cache = _compile_from_args(args, faults=plan)
     input_sets = _batch_input_sets(args, program)
-    runner = BatchRunner(program, processes=args.processes)
+    item_timeout = args.item_timeout
+    if item_timeout is None and plan is not None and plan.has_worker_faults:
+        item_timeout = 30.0  # an injected hang must not hang the batch
+    runner = BatchRunner(
+        program,
+        processes=args.processes,
+        faults=plan,
+        max_retries=args.max_retries,
+        item_timeout=item_timeout,
+    )
     result = runner.run(input_sets)
     result.cache_event = cache.last_event if cache is not None else None
     plural = "es" if result.processes != 1 else ""
@@ -322,6 +396,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f"batch: {result.n_items} items through {program.module_name!r} "
         f"on {program.n_cells} cells ({result.processes} process{plural})"
     )
+    if result.retries:
+        print(f"    {result.retries} retr{'ies' if result.retries != 1 else 'y'}")
+    for failure in result.failures:
+        print(f"    FAILED: {failure.describe()}", file=sys.stderr)
     print(
         f"    {result.cycles_per_item:.0f} cycles/item, "
         f"{result.total_cycles} machine cycles total"
@@ -331,18 +409,25 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f"{result.items_per_second:.1f} items/s"
     )
     print(f"    {_cache_status(cache)}")
-    if args.metrics_out and result.results:
-        # Cell schedules are data-independent, so item 0's machine
+    first_ok = next((r for r in result.results if r is not None), None)
+    if args.metrics_out and first_ok is not None:
+        # Cell schedules are data-independent, so one item's machine
         # metrics represent every item; batch aggregates ride along.
         document = obs.metrics_to_json(
-            result.results[0].machine_metrics, cache=cache, batch=result
+            first_ok.machine_metrics, cache=cache, batch=result
         )
         Path(args.metrics_out).write_text(json.dumps(document, indent=2))
         print(f"metrics written to {args.metrics_out}")
     if args.output:
-        np.savez(args.output, **result.stacked_outputs())
-        print(f"outputs written to {args.output}")
-    return 0
+        if result.ok:
+            np.savez(args.output, **result.stacked_outputs())
+            print(f"outputs written to {args.output}")
+        else:
+            print(
+                f"outputs NOT written ({result.n_failures} failed item(s))",
+                file=sys.stderr,
+            )
+    return 1 if result.failures else 0
 
 
 def cmd_examples(_args: argparse.Namespace) -> int:
@@ -396,6 +481,25 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_options(timing_p)
     timing_p.set_defaults(func=cmd_timing)
 
+    def add_fault_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--inject",
+            action="append",
+            metavar="SPEC",
+            help="inject a deterministic fault: kind:key=value,... "
+            "(kinds: drop_send, dup_send, flip_bits, stall_cell, "
+            "shrink_queue, corrupt_cache, worker_kill, worker_hang) or "
+            "random:seed=N[,count=K]; repeatable — see docs/robustness.md",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="retry a failed item up to N times with backoff "
+            "(default: 0)",
+        )
+
     def add_simulation_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--unroll", type=int, default=1)
         add_cache_options(p)
@@ -421,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="compile and simulate")
     run_p.add_argument("program")
     add_simulation_options(run_p)
+    add_fault_options(run_p)
     run_p.add_argument("--output", help="write outputs to an .npz file")
     run_p.add_argument(
         "--trace", type=int, default=0, metavar="N",
@@ -484,7 +589,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write item-0 machine metrics plus cache/batch aggregates "
         "as JSON",
     )
+    batch_p.add_argument(
+        "--item-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-item wall-time bound in pool mode (a hung worker's "
+        "item fails with ItemTimeoutError instead of hanging the batch)",
+    )
     add_cache_options(batch_p)
+    add_fault_options(batch_p)
     batch_p.set_defaults(func=cmd_batch)
 
     examples_p = sub.add_parser("examples", help="list bundled programs")

@@ -106,6 +106,7 @@ def compile_w2(
     unroll: int | str = 1,
     local_opt: bool = True,
     cache: "CompileCache | None" = None,
+    faults=None,
 ) -> CompiledProgram:
     """Compile a W2 module for the Warp machine.
 
@@ -124,6 +125,10 @@ def compile_w2(
     a hit returns the cached artefact and skips every phase.  Telemetry
     records ``cache.hit`` / ``cache.miss`` (and ``cache.disk_hit``)
     counters either way.
+
+    ``faults`` (an :class:`~repro.faults.InjectionPlan`) does not change
+    compilation at all — it only partitions the cache key, so artefacts
+    touched by fault-injection runs can never be served to clean ones.
     """
     started = time.perf_counter()
     obs = get_telemetry()
@@ -132,7 +137,9 @@ def compile_w2(
         from ..exec.keys import cache_key
 
         with obs.span("cache.lookup"):
-            key = cache_key(source, config, skew_method, unroll, local_opt)
+            key = cache_key(
+                source, config, skew_method, unroll, local_opt, faults=faults
+            )
             cached = cache.get(key)
         if cached is not None:
             obs.counter("cache.hit")

@@ -79,6 +79,12 @@ class WarpConfig:
     address_queue_depth: int = 128
     #: Propagation delay of the address path per cell hop.
     address_hop_latency: int = 1
+    #: Per-cell watchdog slack: a cell running more than this many
+    #: cycles past its statically predicted completion cycle is declared
+    #: hung (:class:`~repro.errors.CellHangError`).  Schedules are
+    #: data-independent, so a healthy cell finishes *exactly* on time
+    #: and the watchdog can never fire on a clean run.
+    watchdog_slack: int = 64
     cell: CellConfig = field(default_factory=CellConfig)
     iu: IUConfig = field(default_factory=IUConfig)
 

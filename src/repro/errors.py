@@ -74,3 +74,52 @@ class QueueCapacityError(SimulationError):
 
 class HostDataError(SimulationError):
     """The host feeder was asked for data it does not have."""
+
+
+# Fault taxonomy ----------------------------------------------------------
+#
+# The runtime detection/recovery layer (:mod:`repro.faults`,
+# :mod:`repro.exec.batch`) classifies every failure it sees into one of
+# three families.  The classification drives the batch engine's retry
+# policy: transient faults are retried with backoff, fatal faults fail
+# the item immediately, and detected corruption is retried (the fault
+# that caused it may have been transient) but never silently returned.
+
+
+class FaultError(SimulationError):
+    """Base class for failures raised by the fault detection layer."""
+
+
+class TransientFault(FaultError):
+    """A failure that a retry may clear (a crashed or hung worker, an
+    injected transient fault).  The batch engine retries these up to
+    ``max_retries`` times with backoff."""
+
+
+class FatalFault(FaultError):
+    """A failure that retrying cannot clear (a structural violation
+    such as a cell running past its watchdog deadline on every
+    attempt).  The batch engine fails the item immediately."""
+
+
+class SilentCorruptionDetected(FaultError):
+    """An integrity check caught data that would otherwise have been
+    silently wrong: a queue word whose stored bits no longer match the
+    bits that were enqueued, or an inter-cell stream whose item count
+    diverged from the compiler's static send/receive schedule."""
+
+
+class CellHangError(FatalFault):
+    """A cell's watchdog deadline expired: the cell ran more than
+    ``WarpConfig.watchdog_slack`` cycles past its statically predicted
+    completion cycle (a stalled or hung cell, caught as a structured
+    diagnostic instead of a silent timing corruption)."""
+
+
+class WorkerCrashError(TransientFault):
+    """A batch worker process died while running an item."""
+
+
+class ItemTimeoutError(TransientFault):
+    """A batch item exceeded its per-item timeout (a hung worker or a
+    runaway simulation)."""

@@ -14,16 +14,19 @@ gives the reproduction the same shape:
   input sets through one :class:`~repro.compiler.driver.CompiledProgram`
   on a reused :class:`~repro.machine.array.WarpMachine` (preallocated
   execution plan, shared address schedule), optionally fanning items
-  out over a ``multiprocessing`` pool.
+  out over a ``multiprocessing`` pool — with retry-with-backoff,
+  per-item timeouts and structured :class:`ItemFailure` records so a
+  failing item degrades the batch instead of crashing it.
 """
 
-from .batch import BatchResult, BatchRunner, run_batch
+from .batch import BatchResult, BatchRunner, ItemFailure, run_batch
 from .cache import CacheStats, CompileCache, compile_cached, default_cache
 from .keys import CACHE_KEY_VERSION, cache_key, config_fingerprint
 
 __all__ = [
     "BatchResult",
     "BatchRunner",
+    "ItemFailure",
     "CACHE_KEY_VERSION",
     "CacheStats",
     "CompileCache",

@@ -75,12 +75,17 @@ class CompileCache:
         self,
         capacity: int = 128,
         cache_dir: str | os.PathLike | None = None,
+        injector=None,
     ):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self._capacity = capacity
         self._memory: OrderedDict[str, "CompiledProgram"] = OrderedDict()
         self._dir = Path(cache_dir) if cache_dir is not None else None
+        #: Optional :class:`~repro.faults.FaultInjector` whose
+        #: ``corrupt_blob`` hook flips bytes of disk reads (fault
+        #: injection only; ``None`` in normal operation).
+        self._injector = injector
         self.stats = CacheStats()
         #: How the most recent :meth:`get` resolved:
         #: ``"memory-hit" | "disk-hit" | "miss"`` (``None`` before any).
@@ -154,6 +159,8 @@ class CompileCache:
             blob = path.read_bytes()
         except OSError:
             return None  # plain absence: not an error
+        if self._injector is not None:
+            blob = self._injector.corrupt_blob(blob)
         try:
             envelope = pickle.loads(blob)
             if (
@@ -167,6 +174,9 @@ class CompileCache:
             # Truncated, garbage, wrong version, unpicklable class, …:
             # silently recompile (and drop the bad file so it cannot
             # keep costing a read on every lookup).
+            from ..obs import get_telemetry
+
+            get_telemetry().counter("fault.detected")
             self.stats.disk_errors += 1
             try:
                 path.unlink()

@@ -39,18 +39,25 @@ def cache_key(
     skew_method: str = "auto",
     unroll: int | str = 1,
     local_opt: bool = True,
+    faults: Any = None,
 ) -> str:
-    """The content hash identifying one compile of ``source``."""
-    payload = json.dumps(
-        {
-            "version": CACHE_KEY_VERSION,
-            "source": source,
-            "config": config_fingerprint(config),
-            "skew_method": skew_method,
-            "unroll": unroll,
-            "local_opt": bool(local_opt),
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    """The content hash identifying one compile of ``source``.
+
+    ``faults`` (an :class:`~repro.faults.InjectionPlan`, or anything
+    with a ``fingerprint()``) partitions the key space: artefacts
+    produced under fault injection can never be served to — or poison —
+    clean runs.  ``None`` (the clean case) leaves the payload, and
+    therefore every pre-existing key, byte-identical.
+    """
+    document: dict[str, Any] = {
+        "version": CACHE_KEY_VERSION,
+        "source": source,
+        "config": config_fingerprint(config),
+        "skew_method": skew_method,
+        "unroll": unroll,
+        "local_opt": bool(local_opt),
+    }
+    if faults is not None:
+        document["faults"] = faults.fingerprint()
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -20,8 +20,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import SilentCorruptionDetected, SimulationError
 from ..lang.ast import Channel
+from ..obs import get_telemetry
 from ..obs.metrics import (
     IUMetrics,
     MachineMetrics,
@@ -32,6 +33,8 @@ from ..obs.metrics import (
 
 if TYPE_CHECKING:  # pragma: no cover - avoid circular import at run time
     from ..compiler.driver import CompiledProgram
+    from ..faults.injector import FaultInjector
+    from ..faults.plan import InjectionPlan
 from .cell import CellExecutor, CellStats, TraceEvent
 from .host import HostMemory, collect_outputs, feed_input_queues
 from .plan import ExecutionPlan
@@ -55,6 +58,10 @@ class SimulationResult:
     #: Per-block execution spans (only when ``simulate(..., record=True)``;
     #: feeds the Chrome-trace exporter).
     record: MachineRecorder | None = None
+    #: Descriptions of every fault injected into this run (empty for
+    #: clean runs; filled from the active
+    #: :class:`~repro.faults.FaultInjector`).
+    fault_report: list[str] = field(default_factory=list)
 
     @property
     def throughput_denominator(self) -> int:
@@ -94,26 +101,40 @@ class WarpMachine:
         inputs: dict[str, np.ndarray],
         trace_limit: int = 0,
         record: bool = False,
+        faults: "InjectionPlan | FaultInjector | None" = None,
     ) -> SimulationResult:
         program = self._program
         plan = self.plan
         n_cells = program.n_cells
         skew = program.skew.skew
+        injector = _injector_of(faults)
         memory = HostMemory.from_inputs(program.ir.host_arrays, inputs)
 
         # Inter-cell data queues; index i connects cell i-1 -> cell i
         # (index 0 is the host boundary, index n_cells the collector).
+        # Clean runs build plain TimedQueues; an active injector swaps
+        # in integrity-checked FaultyQueues (and may shrink capacities).
         links: list[dict[Channel, TimedQueue]] = []
         for i in range(n_cells + 1):
-            capacity = None if i == 0 else self._config.queue_depth
-            links.append(
-                {
-                    channel: TimedQueue(
+            link: dict[Channel, TimedQueue] = {}
+            for channel in (Channel.X, Channel.Y):
+                capacity = None if i == 0 else self._config.queue_depth
+                if injector is not None:
+                    capacity = injector.link_capacity(
+                        i, channel.value, capacity
+                    )
+                    from ..faults.injector import FaultyQueue
+
+                    link[channel] = FaultyQueue(
+                        injector=injector if i >= 1 else None,
+                        name=f"link{i}.{channel.value}",
+                        capacity=capacity,
+                    )
+                else:
+                    link[channel] = TimedQueue(
                         name=f"link{i}.{channel.value}", capacity=capacity
                     )
-                    for channel in (Channel.X, Channel.Y)
-                }
-            )
+            links.append(link)
         feed_input_queues(
             program.host_program, memory, links[0], sequences=plan.input_refs
         )
@@ -139,9 +160,14 @@ class WarpMachine:
         occupancy: dict[str, int] = {}
         recorder = MachineRecorder() if record else None
         address_queues: list[TimedQueue] = []
+        cell_cycles = program.cell_code.total_cycles
+        watchdog_slack = getattr(self._config, "watchdog_slack", 64)
         end_time = 0
         for cell_index in range(n_cells):
-            start = cell_index * skew
+            nominal_start = cell_index * skew
+            start = nominal_start
+            if injector is not None:
+                start += injector.stall_cycles(cell_index)
             # Pre-materialised from the plan: the same IU stream for
             # every cell, shifted by the hop delay (emission times are
             # already non-decreasing, so no per-item enqueue checks).
@@ -163,6 +189,7 @@ class WarpMachine:
                 trace=tracer if trace_limit else None,
                 recorder=recorder,
                 block_plans=plan.blocks,
+                deadline=nominal_start + cell_cycles + watchdog_slack,
             )
             cell_stats = executor.run()
             stats.append(cell_stats)
@@ -170,13 +197,32 @@ class WarpMachine:
             occupancy[address_queue.name] = address_queue.audit_capacity()
             address_queues.append(address_queue)
 
+        # Stream accounting: schedules are data-independent, so every
+        # inter-cell link must carry *exactly* the static per-run send
+        # count — a dropped or duplicated send diverges here even when
+        # it would never underflow (unconsumed pads are otherwise
+        # legal).  The collector link is checked by collect_outputs
+        # against the host program's binding count.
         for i in range(1, n_cells):
             for channel, queue in links[i].items():
                 occupancy[queue.name] = queue.audit_capacity()
-                if queue.items_received < queue.items_sent:
-                    # Unconsumed pads are legal; a receiver short of data
-                    # would already have raised underflow.
-                    pass
+                expected = plan.sends_per_run[channel]
+                if queue.items_sent != expected:
+                    get_telemetry().counter("fault.detected")
+                    raise SilentCorruptionDetected(
+                        f"{queue.name}: stream accounting failed — cell "
+                        f"{i - 1} sent {queue.items_sent} words but the "
+                        f"static schedule sends exactly {expected} per run"
+                    )
+        if injector is not None:
+            # Words the program never dequeued still get their parity
+            # swept (the collector reads link n_cells values directly).
+            from ..faults.injector import FaultyQueue
+
+            for link in links[1:]:
+                for queue in link.values():
+                    if isinstance(queue, FaultyQueue):
+                        queue.verify_integrity()
 
         collect_outputs(
             program.host_program,
@@ -201,6 +247,7 @@ class WarpMachine:
             trace=trace,
             machine_metrics=metrics,
             record=recorder,
+            fault_report=injector.report() if injector is not None else [],
         )
 
     def _build_metrics(
@@ -268,17 +315,34 @@ class WarpMachine:
         )
 
 
+def _injector_of(faults) -> "FaultInjector | None":
+    """Normalise ``faults=`` (plan, injector or None) lazily, keeping
+    the clean path free of any faults-package import."""
+    if faults is None:
+        return None
+    from ..faults.injector import FaultInjector
+
+    return FaultInjector.of(faults)
+
+
 def simulate(
     program: "CompiledProgram",
     inputs: dict[str, np.ndarray],
     trace_limit: int = 0,
     record: bool = False,
+    faults: "InjectionPlan | FaultInjector | None" = None,
 ) -> SimulationResult:
     """Run a compiled program on the simulated Warp machine.
 
     ``record=True`` additionally collects per-block execution spans on
     every cell (``result.record``), which the Chrome-trace exporter
-    turns into per-cell lanes."""
+    turns into per-cell lanes.
+
+    ``faults`` injects a deterministic :class:`~repro.faults.InjectionPlan`
+    into the run (see ``docs/robustness.md``); every injected fault is
+    either absorbed bit-identically or surfaces as a structured
+    :class:`~repro.errors.SimulationError` — never a silent wrong
+    answer."""
     return WarpMachine(program).run(
-        inputs, trace_limit=trace_limit, record=record
+        inputs, trace_limit=trace_limit, record=record, faults=faults
     )

@@ -18,9 +18,11 @@ from typing import Callable
 
 from ..cellcodegen.emit import CellCode, ScheduledBlock, ScheduledLoop
 from ..cellcodegen.isa import AddressSource, Lit, Operand, Reg
+from ..errors import CellHangError
 from ..ir.dag import QueueRef
 from ..lang.ast import Channel, Direction
 from ..config import CellConfig
+from ..obs import get_telemetry
 from ..obs.metrics import MachineRecorder
 from .plan import BlockPlan, DecodedInstr
 from .queue import TimedQueue
@@ -83,6 +85,7 @@ class CellExecutor:
         trace: Callable[[TraceEvent], None] | None = None,
         recorder: MachineRecorder | None = None,
         block_plans: dict[int, BlockPlan] | None = None,
+        deadline: int | None = None,
     ):
         self._code = code
         self._config = config
@@ -93,6 +96,11 @@ class CellExecutor:
         self._addr = address_queue
         self._trace = trace
         self._recorder = recorder
+        #: Watchdog: absolute cycle by which the cell must have
+        #: finished.  Healthy cells finish exactly on their statically
+        #: predicted cycle, so the deadline (predicted end + slack) can
+        #: only be crossed by a stalled or hung cell.
+        self._deadline = deadline
         #: Skip-idle plans per block: shared across cells/runs when the
         #: caller supplies them, otherwise built lazily for this cell.
         self._block_plans = block_plans if block_plans is not None else {}
@@ -136,11 +144,21 @@ class CellExecutor:
         for item in items:
             if isinstance(item, ScheduledBlock):
                 time = self._run_block(item, time)
+                if self._deadline is not None and time > self._deadline:
+                    self._watchdog_expired(time)
             else:
                 assert isinstance(item, ScheduledLoop)
                 for _ in range(item.trip):
                     time = self._run_items(item.body, time)
         return time
+
+    def _watchdog_expired(self, time: int) -> None:
+        get_telemetry().counter("fault.detected")
+        raise CellHangError(
+            f"cell {self._cell}: watchdog expired — still executing at "
+            f"cycle {time}, deadline was cycle {self._deadline} "
+            f"(started at cycle {self._start}); the cell is stalled or hung"
+        )
 
     def _run_block(self, block: ScheduledBlock, time: int) -> int:
         plan = self._block_plans.get(block.block_id)
@@ -184,15 +202,24 @@ class CellExecutor:
                 self._trace(
                     TraceEvent(self._cell, now, "receive", str(deq.queue), value)
                 )
+        # IU-supplied addresses are consumed in instruction-slot order
+        # (the order the IU emitted them), which is not necessarily
+        # loads-before-stores — resolve them all up front.
+        addresses: dict[int, int] | None = None
+        if decoded.addressed:
+            addresses = {
+                id(mem): int(self._addr.dequeue(now))
+                for mem in decoded.addressed
+            }
         # Memory: loads observe the pre-store contents of this cycle.
         for mem in decoded.loads:
-            address = self._address(mem, now)
+            address = self._address(mem, addresses)
             value = self._memory[address]
             assert mem.reg is not None
             self._write_later(now + config.mem_read_latency, mem.reg, value)
             stats.mem_reads += 1
         for mem in decoded.stores:
-            address = self._address(mem, now)
+            address = self._address(mem, addresses)
             assert mem.store_value is not None
             self._memory[address] = read(mem.store_value)
             stats.mem_writes += 1
@@ -225,10 +252,11 @@ class CellExecutor:
                     TraceEvent(self._cell, now, "send", str(enq.queue), value)
                 )
 
-    def _address(self, mem, now: int) -> int:
+    def _address(self, mem, addresses: dict[int, int] | None) -> int:
         if mem.address_source is AddressSource.LITERAL:
             return mem.address
-        return int(self._addr.dequeue(now))
+        assert addresses is not None
+        return addresses[id(mem)]
 
     def _queue_for(self, ref: QueueRef, incoming: bool) -> TimedQueue:
         if incoming:

@@ -26,6 +26,7 @@ from typing import Callable, TYPE_CHECKING
 from ..analysis.local_opt import pure_evaluator
 from ..cellcodegen.emit import CellCode, ScheduledBlock
 from ..cellcodegen.isa import (
+    AddressSource,
     DeqOp,
     EnqOp,
     MemOp,
@@ -57,6 +58,12 @@ class DecodedInstr:
     deqs: tuple[DeqOp, ...]
     loads: tuple[MemOp, ...]
     stores: tuple[MemOp, ...]
+    #: Queue-addressed memory ops in *slot order* — the order the IU
+    #: emits their addresses (``addr_demands`` is stably sorted by
+    #: cycle, so same-cycle addresses arrive in instruction-slot
+    #: order).  The executor must dequeue addresses in this order even
+    #: though it applies loads before stores.
+    addressed: tuple[MemOp, ...]
     #: ``(evaluator, sources, dest)`` or ``None``.
     alu: tuple[Callable[..., float], tuple[Operand, ...], Reg] | None
     #: ``(evaluator, sources, dest, is_divide)`` or ``None``.
@@ -86,6 +93,11 @@ class DecodedInstr:
             deqs=tuple(instr.deqs),
             loads=tuple(m for m in instr.mem if m.is_load),
             stores=tuple(m for m in instr.mem if not m.is_load),
+            addressed=tuple(
+                m
+                for m in instr.mem
+                if m.address_source is not AddressSource.LITERAL
+            ),
             alu=alu,
             mpy=mpy,
             move=instr.move,
@@ -118,6 +130,33 @@ def block_plans(code: CellCode) -> dict[int, BlockPlan]:
     return {block.block_id: BlockPlan.of(block) for block in code.blocks()}
 
 
+def static_io_counts(items) -> tuple[dict[Channel, int], dict[Channel, int]]:
+    """Exact per-channel (sends, receives) of one cell's full run.
+
+    Schedules are data-independent, so these counts are a static
+    property of the code tree: every cell enqueues exactly
+    ``sends[channel]`` words per run.  The stream-accounting guard in
+    :meth:`~repro.machine.array.WarpMachine.run` compares each
+    inter-cell link against them — a dropped or duplicated send shows up
+    as a count divergence even when it would not underflow anything.
+    """
+    sends = {Channel.X: 0, Channel.Y: 0}
+    receives = {Channel.X: 0, Channel.Y: 0}
+    for item in items:
+        if isinstance(item, ScheduledBlock):
+            for instr in item.instructions:
+                for enq in instr.enqs:
+                    sends[enq.queue.channel] += 1
+                for deq in instr.deqs:
+                    receives[deq.queue.channel] += 1
+        else:
+            inner_sends, inner_receives = static_io_counts(item.body)
+            for channel in (Channel.X, Channel.Y):
+                sends[channel] += inner_sends[channel] * item.trip
+                receives[channel] += inner_receives[channel] * item.trip
+    return sends, receives
+
+
 class ExecutionPlan:
     """All static per-program simulation state, computed once."""
 
@@ -142,6 +181,12 @@ class ExecutionPlan:
             channel: list(program.host_program.output_bindings(channel))
             for channel in (Channel.X, Channel.Y)
         }
+        #: Static per-channel I/O counts of one cell run, used by the
+        #: stream-accounting guard (every inter-cell link must carry
+        #: exactly ``sends_per_run[channel]`` words).
+        self.sends_per_run, self.receives_per_run = static_io_counts(
+            program.cell_code.items
+        )
 
     @property
     def skipped_slots(self) -> int:

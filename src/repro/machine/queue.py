@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import QueueCapacityError, QueueUnderflowError
+from ..obs import get_telemetry
 from ..obs.metrics import QueueMetrics, queue_metrics_from_times
 from ..timing.buffers import occupancy_requirement
 
@@ -41,12 +42,14 @@ class TimedQueue:
 
     def dequeue(self, time: int) -> float:
         if self._cursor >= len(self.values):
+            get_telemetry().counter("fault.detected")
             raise QueueUnderflowError(
                 f"{self.name}: dequeue at cycle {time} but only "
                 f"{len(self.values)} items were ever sent"
             )
         sent = self.send_times[self._cursor]
         if sent > time:
+            get_telemetry().counter("fault.detected")
             raise QueueUnderflowError(
                 f"{self.name}: dequeue at cycle {time} of an item sent at "
                 f"cycle {sent} — the skew guarantee failed"
@@ -75,6 +78,7 @@ class TimedQueue:
     def audit_capacity(self) -> int:
         occupancy = self.max_occupancy()
         if self.capacity is not None and occupancy > self.capacity:
+            get_telemetry().counter("fault.detected")
             raise QueueCapacityError(
                 f"{self.name}: peak occupancy {occupancy} exceeds the "
                 f"{self.capacity}-word queue"

@@ -77,6 +77,7 @@ class TestSerialBatch:
         assert batched.stacked_outputs() == {}
 
 
+@pytest.mark.timeout(120)
 class TestMultiprocessBatch:
     def test_pool_bit_identical_and_ordered(self, program, rng):
         items = _items(rng, 8)

@@ -8,10 +8,12 @@ code generation or the simulator itself.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler import compile_w2
+from repro.exec import BatchRunner
 from repro.lang import analyze, parse_module
 from repro.machine import interpret, simulate
 
@@ -121,3 +123,30 @@ class TestFuzzedPipelines:
                 default=0,
             )
             assert observed <= requirement.required
+
+    @pytest.mark.timeout(300)
+    @given(pipeline_programs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_batch_pool_matches_one_shot(self, case, seed):
+        """Generated programs through the batch engine: serial and
+        2-process pool results are bit-identical, item for item, to
+        one-shot simulation."""
+        source, n_points = case
+        rng = np.random.default_rng(seed)
+        items = [
+            {"a": rng.uniform(-2, 2, n_points)} for _ in range(3)
+        ]
+        program = compile_w2(source)
+        one_shot = [simulate(program, inputs) for inputs in items]
+        serial = BatchRunner(program).run(items)
+        pooled = BatchRunner(program, processes=2).run(items)
+        assert serial.ok and pooled.ok
+        for expected, from_serial, from_pool in zip(
+            one_shot, serial.results, pooled.results
+        ):
+            assert np.array_equal(
+                from_serial.outputs["b"], expected.outputs["b"]
+            ), source
+            assert np.array_equal(
+                from_pool.outputs["b"], expected.outputs["b"]
+            ), source

@@ -17,7 +17,7 @@ import pytest
 
 from repro.cellcodegen.listing import format_cell_code
 from repro.compiler import compile_w2
-from repro.programs import conv1d, passthrough, polynomial
+from repro.programs import conv1d, conv2d, passthrough, polynomial
 
 GOLDENS_DIR = Path(__file__).resolve().parent / "goldens"
 
@@ -27,6 +27,9 @@ GOLDEN_PROGRAMS = {
     "polynomial_8x3": (polynomial(8, 3), {}),
     "conv1d_12x3": (conv1d(12, 3), {}),
     "passthrough_8x2_unroll2": (passthrough(8, 2), {"unroll": 2}),
+    # The fault-matrix conv2d variant: its ring-buffer schedule is the
+    # regression surface for same-cycle IU address ordering.
+    "conv2d_6x5": (conv2d(6, 5), {}),
 }
 
 

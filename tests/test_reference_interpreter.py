@@ -15,6 +15,7 @@ from repro.errors import HostDataError
 from repro.exec import BatchRunner
 from repro.lang import analyze, parse_module
 from repro.machine import interpret, simulate
+from repro.programs import conv2d
 
 
 def run(source, inputs):
@@ -293,7 +294,7 @@ class TestDifferentialSweep:
             reference = interpret(analyze(parse_module(source)), inputs)
             _assert_outputs_equal(name, result.outputs, reference)
 
-    @pytest.mark.parametrize("unroll", [2, "auto"])
+    @pytest.mark.parametrize("unroll", [2, 4, "auto"])
     def test_bundled_programs_unrolled(self, program_suite, unroll):
         """Unrolling changes schedules, never results."""
         for name, source, inputs, _ref in program_suite:
@@ -318,6 +319,71 @@ class TestDifferentialSweep:
             result = simulate(program, inputs)
             reference = interpret(analyze(parse_module(source)), inputs)
             _assert_outputs_equal(name, result.outputs, reference)
+
+
+class TestSameCycleAddressOrder:
+    """Regression: IU-supplied addresses are consumed in instruction-slot
+    order, not loads-before-stores.
+
+    The scheduler may pack a queue-addressed *store* into the same cycle
+    as a queue-addressed *load* with the store in an earlier slot
+    (conv2d's ring buffer at unroll factor 3 does exactly this).  The IU
+    emits same-cycle addresses in slot order; a simulator that dequeued
+    them loads-first handed each op the other's address and silently
+    corrupted cell memory.
+    """
+
+    #: One cell, a ring-buffer delay line: b[r, c] = a[r-1, c].  Unroll
+    #: factor 3 historically scheduled "store @q; load @q" in one cycle.
+    DELAYLINE = """
+module delayline (a in, b out)
+float a[12];
+float b[12];
+cellprogram (cid : 0 : 0)
+begin
+    float xin, old;
+    float buf[6];
+    int r, c;
+    for r := 0 to 1 do
+        for c := 0 to 5 do begin
+            receive (L, X, xin, a[r*6 + c]);
+            old := buf[c];
+            buf[c] := xin;
+            send (R, X, old, b[r*6 + c]);
+        end;
+end
+"""
+
+    @pytest.mark.parametrize("unroll", [1, 2, 3, 4, 6])
+    def test_ring_buffer_delay_is_exact(self, unroll):
+        inputs = {"a": np.arange(1.0, 13.0)}
+        expected = interpret(
+            analyze(parse_module(self.DELAYLINE)), inputs
+        )["b"]
+        program = compile_w2(self.DELAYLINE, unroll=unroll)
+        result = simulate(program, inputs)
+        assert np.array_equal(result.outputs["b"], expected), (
+            f"unroll={unroll}: the delay line must be bit-exact — a "
+            "divergence here means same-cycle IU addresses were "
+            "consumed out of slot order"
+        )
+
+    @pytest.mark.parametrize("unroll", [3, 4])
+    def test_conv2d_unroll_divergence_is_reassociation_only(self, unroll):
+        """conv2d at unroll 3/4 (trip 6 resolves 4 -> factor 3) stays
+        within reassociation rounding of the reference — the historical
+        multiple-ULP divergence is pinned out."""
+        source = conv2d(6, 5)
+        rng = np.random.default_rng(20260806)
+        inputs = {
+            "x": rng.standard_normal(30),
+            "k": rng.standard_normal(9),
+        }
+        expected = interpret(analyze(parse_module(source)), inputs)["y"]
+        result = simulate(compile_w2(source, unroll=unroll), inputs)
+        np.testing.assert_allclose(
+            result.outputs["y"], expected, rtol=1e-12, atol=1e-12
+        )
 
 
 class TestBatchedMatchesOneShot:
