@@ -8,8 +8,15 @@ Usage (also via ``python -m repro``)::
     python -m repro profile  program.w2        # phase timings + utilisation
     python -m repro compare  program.w2        # predicted vs measured
     python -m repro timing   program.w2        # skew / buffer report
+    python -m repro verify   program.w2        # independent schedule verifier
+    python -m repro check    program.w2        # compile + verify, one-line verdict
     python -m repro examples                   # list bundled programs
     python -m repro emit     polynomial        # print a bundled program
+
+Exit codes are script-friendly: 0 success, 2 the program cannot be
+compiled (front-end or mapping/overflow errors, printed as one
+structured ``error[Class]: ...`` line), 3 the verifier rejected the
+emitted schedule (or a seeded mutant escaped ``verify --mutate``).
 
 All compiling subcommands share a compile cache (in-memory by default;
 ``--cache-dir DIR`` persists artefacts on disk, ``--no-cache`` bypasses
@@ -29,6 +36,7 @@ schedules are data-independent, so cycle counts are unaffected).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -44,11 +52,19 @@ from .compiler import (
     format_performance,
     predict_performance,
 )
-from .errors import HostDataError, SimulationError
+from .config import DEFAULT_CONFIG
+from .errors import (
+    CompilationError,
+    HostDataError,
+    SimulationError,
+    VerificationError,
+)
 from .exec import BatchRunner, CompileCache, default_cache
 from .lang import Channel
+from .lang.errors import W2Error
 from .machine import simulate
 from .machine.trace import format_two_cell_trace
+from .verify import MUTATION_KINDS, mutate, verify_program
 
 _BUNDLED = {
     "polynomial": programs.polynomial,
@@ -430,6 +446,79 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _compile_unverified(args: argparse.Namespace):
+    """Compile with the in-driver verification pass off — the ``verify``
+    and ``check`` subcommands run the verifier themselves so they can
+    print the full report instead of an exception."""
+    cache = _make_cache(args)
+    config = dataclasses.replace(DEFAULT_CONFIG, verify="off")
+    program = compile_w2(
+        _load_source(args.program),
+        config=config,
+        unroll=args.unroll,
+        cache=cache,
+    )
+    return program
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Compile, then verify the emitted artifacts independently; with
+    ``--mutate N`` also check N seeded miscompiles are all flagged."""
+    program = _compile_unverified(args)
+    report = verify_program(program, level=args.level)
+    print(f"{program.module_name}: {report.format()}")
+    if not report.ok:
+        return 3
+    if args.mutate:
+        return _mutation_smoke(program, args.mutate, args.seed)
+    return 0
+
+
+def _mutation_smoke(program, n_mutants: int, base_seed: int) -> int:
+    produced = caught = 0
+    attempts = 0
+    while produced < n_mutants and attempts < n_mutants * 4:
+        kind = MUTATION_KINDS[attempts % len(MUTATION_KINDS)]
+        seed = base_seed + attempts // len(MUTATION_KINDS)
+        attempts += 1
+        mutant = mutate(program, kind, seed)
+        if mutant is None:
+            continue
+        produced += 1
+        report = verify_program(mutant.program, level="full")
+        if report.ok:
+            print(
+                f"    ESCAPED {mutant.kind} seed {mutant.seed}: "
+                f"{mutant.description}",
+                file=sys.stderr,
+            )
+        else:
+            caught += 1
+            checks = ",".join(sorted(report.failed_checks()))
+            print(f"    caught {mutant.kind} seed {mutant.seed}: {checks}")
+    print(f"mutation smoke: {caught}/{produced} mutants flagged")
+    return 0 if caught == produced else 3
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Compile + verify with a one-line verdict (exit 0 / 2 / 3)."""
+    program = _compile_unverified(args)
+    report = verify_program(program, level="full")
+    verdict = "ok" if report.ok else "FAIL"
+    print(
+        f"{program.module_name}: compile ok "
+        f"({program.metrics.cell_ucode} cell instrs, "
+        f"{program.metrics.iu_ucode} IU instrs, skew {program.skew.skew}); "
+        f"verification {verdict} "
+        f"({len(report.checks_run)} checks, "
+        f"{len(report.diagnostics)} diagnostics)"
+    )
+    if not report.ok:
+        print(report.format(), file=sys.stderr)
+        return 3
+    return 0
+
+
 def cmd_examples(_args: argparse.Namespace) -> int:
     for name, factory in sorted(_BUNDLED.items()):
         doc = (factory.__doc__ or "").strip().splitlines()[0]
@@ -601,6 +690,50 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault_options(batch_p)
     batch_p.set_defaults(func=cmd_batch)
 
+    def unroll_arg(value: str):
+        return value if value == "auto" else int(value)
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="compile, then re-derive and check the schedule invariants "
+        "from the emitted artifacts (exit 3 on any diagnostic)",
+    )
+    verify_p.add_argument("program")
+    verify_p.add_argument(
+        "--unroll", type=unroll_arg, default=1, metavar="N|auto"
+    )
+    verify_p.add_argument(
+        "--level",
+        choices=("quick", "full"),
+        default="full",
+        help="quick: static hazard/register/IU checks; full: adds the "
+        "dynamic stream/skew/occupancy/tau recomputation (default)",
+    )
+    verify_p.add_argument(
+        "--mutate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also miscompile the program N times (seeded artifact "
+        "mutations) and require the verifier to flag every mutant",
+    )
+    verify_p.add_argument(
+        "--seed", type=int, default=0, help="base seed for --mutate"
+    )
+    add_cache_options(verify_p)
+    verify_p.set_defaults(func=cmd_verify)
+
+    check_p = sub.add_parser(
+        "check",
+        help="compile + verify with a one-line verdict (exit 0/2/3)",
+    )
+    check_p.add_argument("program")
+    check_p.add_argument(
+        "--unroll", type=unroll_arg, default=1, metavar="N|auto"
+    )
+    add_cache_options(check_p)
+    check_p.set_defaults(func=cmd_check)
+
     examples_p = sub.add_parser("examples", help="list bundled programs")
     examples_p.set_defaults(func=cmd_examples)
 
@@ -617,6 +750,19 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except BrokenPipeError:  # e.g. `repro compile ... | head`
         return 0
+    except VerificationError as error:
+        # The in-driver verifier rejected the schedule: print the full
+        # structured report, then the one-line summary.
+        print(error.report.format(), file=sys.stderr)
+        print(f"error[VerificationError]: {error}", file=sys.stderr)
+        return 3
+    except (W2Error, CompilationError) as error:
+        # Unmappable / overflowing / ill-formed programs are user input
+        # problems: one structured diagnostic line, no traceback.  A
+        # QueueOverflowError's message already names the required queue
+        # size, as the paper's compiler reports it.
+        print(f"error[{type(error).__name__}]: {error}", file=sys.stderr)
+        return 2
     except HostDataError as error:
         # Malformed host data (e.g. out-of-bounds I/O bindings) is a
         # usage problem, not a crash: report it without a traceback.

@@ -249,9 +249,35 @@ def compile_w2(
         metrics=metrics,
         mirrored=mirrored,
     )
+    _verify_compiled(program, obs)
     if cache is not None and key is not None:
         cache.put(key, program)
     return program
+
+
+def _verify_compiled(program: CompiledProgram, obs) -> None:
+    """Run the independent schedule verifier over the finished artefacts
+    (level per ``WarpConfig.verify``); rejected programs never reach the
+    cache or the caller."""
+    from ..errors import VerificationError
+    from ..verify import resolve_level, verify_artifacts
+
+    level = resolve_level(program.config.verify)
+    if level == "off":
+        return
+    report = verify_artifacts(
+        program.cell_code,
+        program.iu_program,
+        program.host_program,
+        skew=program.skew,
+        buffers=program.buffers,
+        config=program.config,
+        n_cells=program.n_cells,
+        level=level,
+    )
+    if not report.ok:
+        obs.counter("verify.rejected")
+        raise VerificationError(report)
 
 
 def _choose_unroll_factor(analyzed: AnalyzedModule, config: WarpConfig) -> int:

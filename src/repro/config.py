@@ -85,6 +85,11 @@ class WarpConfig:
     #: data-independent, so a healthy cell finishes *exactly* on time
     #: and the watchdog can never fire on a clean run.
     watchdog_slack: int = 64
+    #: Post-compile schedule verification level: ``"off"``, ``"quick"``,
+    #: ``"full"``, or ``"default"`` (resolve through the ``REPRO_VERIFY``
+    #: environment variable, falling back to off).  See
+    #: :mod:`repro.verify`.
+    verify: str = "default"
     cell: CellConfig = field(default_factory=CellConfig)
     iu: IUConfig = field(default_factory=IUConfig)
 

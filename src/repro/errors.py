@@ -50,6 +50,21 @@ class QueueOverflowError(CompilationError):
         )
 
 
+class VerificationError(CompilationError):
+    """The independent schedule verifier rejected the emitted artifacts.
+
+    Carries the full :class:`~repro.verify.VerificationReport`; the
+    message shows the first few diagnostics.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(
+            f"schedule verification failed with "
+            f"{len(report.diagnostics)} diagnostic(s): {report.summary()}"
+        )
+
+
 class IUDeadlineError(CompilationError):
     """The IU cannot produce an address by its deadline even via the
     table-memory escape (Section 6.3.2)."""

@@ -29,8 +29,15 @@ CACHE_KEY_VERSION = 1
 
 def config_fingerprint(config: WarpConfig) -> dict[str, Any]:
     """The machine configuration as a plain, JSON-able dict (recursive
-    over the cell and IU sub-configs)."""
-    return dataclasses.asdict(config)
+    over the cell and IU sub-configs).
+
+    The ``verify`` level is excluded: verification is a read-only pass
+    over the finished artefacts, so it cannot change the compile output
+    — and keeping it out leaves every pre-existing key byte-identical.
+    """
+    fingerprint = dataclasses.asdict(config)
+    fingerprint.pop("verify", None)
+    return fingerprint
 
 
 def cache_key(

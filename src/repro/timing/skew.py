@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from ..cellcodegen.emit import CellCode
 from ..errors import MappingError
 from ..lang.ast import Channel
-from .events import TooManyEventsError, stream_event_times
+from .events import TooManyEventsError, count_stream_events, stream_event_times
 from .tau import TimingFunction, max_time_difference_bound
 from .vectors import characterize_stream, input_stream, output_stream
 
@@ -74,9 +74,12 @@ def _exact_from_times(channel, sends, recvs) -> ChannelSkew:
         )
     if recvs.size == 0:
         return ChannelSkew(channel, int(sends.size), 0, 0, "none")
-    diff = sends[: recvs.size] - recvs
+    # Clamp at zero: when every receive already trails its send the
+    # channel imposes no constraint.  The bound method clamps the same
+    # way, keeping "bound >= exact" meaningful on such channels.
+    skew = max(0, int((sends[: recvs.size] - recvs).max()))
     return ChannelSkew(
-        channel, int(sends.size), int(recvs.size), int(diff.max()), "exact"
+        channel, int(sends.size), int(recvs.size), skew, "exact"
     )
 
 
@@ -130,10 +133,19 @@ def compute_skew(
     applies.
     """
     if n_cells == 1:
+        # No inter-cell links, so no constraint — but report the true
+        # static send/receive counts so downstream conservation checks
+        # can still cross-check them.
         return SkewResult(
             skew=1,
             channels=tuple(
-                ChannelSkew(channel, 0, 0, 0, "none")
+                ChannelSkew(
+                    channel,
+                    count_stream_events(code.items, output_stream(channel)),
+                    count_stream_events(code.items, input_stream(channel)),
+                    0,
+                    "none",
+                )
                 for channel in (Channel.X, Channel.Y)
             ),
         )

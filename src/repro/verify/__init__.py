@@ -1,0 +1,26 @@
+"""Independent post-compile schedule verification (and its mutation
+harness).
+
+The verifier re-derives the paper's invariants — Section 6.1 hazard
+freedom, register lifetimes under delayed writeback, Section 6.2.1
+skew/tau timing, Section 6.2.2 queue occupancy, Section 6.3 IU address
+delivery — from the emitted artifacts alone and cross-checks them
+against what the compiler declared.  See ``docs/verification.md``.
+"""
+
+from .core import LEVELS, resolve_level, verify_artifacts, verify_program
+from .mutations import MUTATION_KINDS, Mutant, mutate, mutation_suite
+from .report import Diagnostic, VerificationReport
+
+__all__ = [
+    "Diagnostic",
+    "LEVELS",
+    "MUTATION_KINDS",
+    "Mutant",
+    "VerificationReport",
+    "mutate",
+    "mutation_suite",
+    "resolve_level",
+    "verify_artifacts",
+    "verify_program",
+]

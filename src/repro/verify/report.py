@@ -1,0 +1,100 @@
+"""Structured diagnostics of the independent schedule verifier.
+
+Every invariant violation is a :class:`Diagnostic` carrying a dotted
+check identifier (stable, script-friendly), a human message, and the
+artifact location (block / cycle / channel) it anchors to.  A
+:class:`VerificationReport` aggregates the diagnostics of one pass
+together with the list of checks that actually ran, so "no diagnostics"
+is distinguishable from "nothing was checked".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One invariant violation found in the emitted artifacts."""
+
+    #: Stable dotted identifier, e.g. ``hazard.mem_ports`` or
+    #: ``stream.conservation``.
+    check: str
+    message: str
+    block_id: int | None = None
+    cycle: int | None = None
+    channel: str | None = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.block_id is not None:
+            where.append(f"block {self.block_id}")
+        if self.cycle is not None:
+            where.append(f"cycle {self.cycle}")
+        if self.channel is not None:
+            where.append(f"channel {self.channel}")
+        prefix = f"{', '.join(where)}: " if where else ""
+        return f"[{self.check}] {prefix}{self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """The outcome of one verifier pass over one compiled module."""
+
+    level: str
+    checks_run: list[str] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Non-fatal remarks (budget fallbacks, skipped dynamic checks).
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def add(
+        self,
+        check: str,
+        message: str,
+        block_id: int | None = None,
+        cycle: int | None = None,
+        channel: str | None = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                check=check,
+                message=message,
+                block_id=block_id,
+                cycle=cycle,
+                channel=channel,
+            )
+        )
+
+    def ran(self, check: str) -> None:
+        if check not in self.checks_run:
+            self.checks_run.append(check)
+
+    def failed_checks(self) -> set[str]:
+        return {d.check for d in self.diagnostics}
+
+    def format(self) -> str:
+        """A terminal-friendly rendering of the report."""
+        lines = [
+            f"verification: {len(self.checks_run)} checks, "
+            f"{len(self.diagnostics)} diagnostic(s) "
+            f"[level {self.level}]"
+        ]
+        for diagnostic in self.diagnostics:
+            lines.append(f"    FAIL {diagnostic}")
+        for note in self.notes:
+            lines.append(f"    note: {note}")
+        if self.ok:
+            lines.append("    all invariants hold")
+        return "\n".join(lines)
+
+    def summary(self, limit: int = 4) -> str:
+        """The first few diagnostics on one line each (for exceptions)."""
+        shown = [str(d) for d in self.diagnostics[:limit]]
+        extra = len(self.diagnostics) - len(shown)
+        if extra > 0:
+            shown.append(f"... and {extra} more")
+        return "; ".join(shown)

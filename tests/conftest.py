@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+import os
 import signal
+
+# Every compile in the test suite runs the independent schedule verifier
+# at full strength unless a test overrides the level explicitly.
+os.environ.setdefault("REPRO_VERIFY", "full")
 
 import numpy as np
 import pytest

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import dataclasses
 import json
 
 import numpy as np
@@ -317,6 +318,105 @@ class TestBatchCommand:
     def test_bad_items_count(self):
         with pytest.raises(SystemExit):
             main(["batch", "passthrough", "--items", "0"])
+
+
+class TestVerifyAndCheckCommands:
+    def test_verify_bundled_program(self, capsys):
+        assert main(["verify", "polynomial"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out
+        assert "0 diagnostic" in out
+
+    def test_verify_quick_level_runs_fewer_checks(self, capsys):
+        assert main(["verify", "conv1d", "--level", "quick"]) == 0
+        quick = capsys.readouterr().out
+        assert main(["verify", "conv1d", "--level", "full"]) == 0
+        full = capsys.readouterr().out
+
+        def checks(text):
+            return int(text.split("verification: ")[1].split(" checks")[0])
+
+        assert checks(quick) < checks(full)
+
+    def test_verify_auto_unroll(self, capsys):
+        assert main(["verify", "passthrough", "--unroll", "auto"]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_verify_mutation_smoke_flags_every_mutant(self, capsys):
+        assert main(["verify", "conv1d", "--mutate", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "mutation smoke: 6/6 mutants flagged" in out
+        assert "caught" in out and "ESCAPED" not in out
+
+    def test_check_one_line_verdict(self, capsys):
+        assert main(["check", "matmul", "--unroll", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "compile ok" in out and "verification ok" in out
+        assert "skew" in out
+
+
+class TestStructuredBadInputErrors:
+    """Unmappable or overflowing programs exit 2 with one structured
+    ``error[Class]:`` line on stderr — never a traceback — on every
+    compiling subcommand (the ISSUE 5 satellite)."""
+
+    @pytest.fixture()
+    def unmappable(self, tmp_path):
+        from repro.programs import bidirectional_cycle
+
+        path = tmp_path / "bidirectional.w2"
+        path.write_text(bidirectional_cycle())
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["compile"],
+            ["timing"],
+            ["run"],
+            ["profile"],
+            ["compare"],
+            ["batch"],
+            ["verify"],
+            ["check"],
+        ],
+        ids=lambda argv: argv[0],
+    )
+    def test_unmappable_program_exits_2_on_every_subcommand(
+        self, unmappable, argv, capsys
+    ):
+        assert main([argv[0], unmappable, *argv[1:]]) == 2
+        captured = capsys.readouterr()
+        assert "error[MappingError]" in captured.err
+        assert "Section 5.1.1" in captured.err
+        assert "Traceback" not in captured.err + captured.out
+
+    def test_queue_overflow_reports_required_size(self, monkeypatch, capsys):
+        """The paper's compiler reports the queue size a program needs;
+        so does ours, as a structured diagnostic with exit code 2."""
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli,
+            "DEFAULT_CONFIG",
+            dataclasses.replace(cli.DEFAULT_CONFIG, queue_depth=1),
+        )
+        assert main(["verify", "polynomial", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "error[QueueOverflowError]" in err
+        assert "needs a queue of" in err and "capacity 1" in err
+        assert "Traceback" not in err
+
+    def test_check_reports_overflow_too(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli,
+            "DEFAULT_CONFIG",
+            dataclasses.replace(cli.DEFAULT_CONFIG, queue_depth=1),
+        )
+        assert main(["check", "conv1d", "--no-cache"]) == 2
+        assert "error[QueueOverflowError]" in capsys.readouterr().err
 
 
 class TestCacheOptions:

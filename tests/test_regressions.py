@@ -158,6 +158,180 @@ end
         assert list(result.outputs["b"]) == [1.0, 1.0, 2.0, 2.0]
 
 
+class TestSameCycleMachineOrdering:
+    """PR 3 bug-class sweep (ISSUE 5): every same-cycle ordering decision
+    in the machine layer, pinned at the executor level so a refactor of
+    plan.py/cell.py/array.py cannot silently flip one.
+
+    Audit result: IU-supplied addresses are resolved up front in
+    instruction-slot order (not loads-before-stores); all register
+    writes are deferred, so intra-cycle read order is immaterial; loads
+    observe pre-store memory (the verifier's ``hazard.mem_conflict``
+    guarantees no same-cycle same-address ambiguity is ever emitted);
+    and a dequeue at the exact send cycle is legal — the same boundary
+    the skew/occupancy analyses assume."""
+
+    def test_same_cycle_addresses_consumed_in_slot_order(self):
+        from repro.cellcodegen.emit import CellCode, ScheduledBlock
+        from repro.cellcodegen.isa import (
+            AddressSource,
+            EnqOp,
+            Lit,
+            MemOp,
+            MicroInstr,
+            Reg,
+        )
+        from repro.cellcodegen.layout import MemoryLayout
+        from repro.config import CellConfig
+        from repro.ir.dag import QueueRef
+        from repro.lang.ast import Channel, Direction
+        from repro.machine.cell import CellExecutor
+        from repro.machine.queue import TimedQueue
+
+        config = CellConfig()
+        instructions = [MicroInstr() for _ in range(4)]
+        # Cycle 0: seed memory[4] with a sentinel via a literal store.
+        instructions[0].mem = [
+            MemOp(False, AddressSource.LITERAL, 4, None, Lit(42.0))
+        ]
+        # Cycle 1: store @q in the EARLIER slot, load @q in the later
+        # one.  The IU emits same-cycle addresses in slot order, so the
+        # store must take the first queued address (3) and the load the
+        # second (4).  A loads-first executor hands each the other's.
+        instructions[1].mem = [
+            MemOp(False, AddressSource.QUEUE, None, None, Lit(9.0)),
+            MemOp(True, AddressSource.QUEUE, None, Reg(0)),
+        ]
+        instructions[1 + config.mem_read_latency].enqs = [
+            EnqOp(QueueRef(Direction.RIGHT, Channel.X), Reg(0))
+        ]
+        block = ScheduledBlock(
+            block_id=0, instructions=instructions, length=len(instructions)
+        )
+        code = CellCode(
+            items=[block], layout=MemoryLayout(), pinned={}, config=config
+        )
+        addresses = TimedQueue("adr")
+        addresses.enqueue(0, 3.0)
+        addresses.enqueue(0, 4.0)
+        out_x = TimedQueue("out.x")
+        executor = CellExecutor(
+            code=code,
+            config=config,
+            cell_index=0,
+            start_time=0,
+            in_queues={c: TimedQueue(f"in.{c}") for c in Channel},
+            out_queues={Channel.X: out_x, Channel.Y: TimedQueue("out.y")},
+            address_queue=addresses,
+        )
+        executor.run()
+        assert out_x.values == [42.0], (
+            "the load consumed the store's address: same-cycle IU "
+            "addresses left slot order"
+        )
+        assert executor._memory[3] == 9.0 and executor._memory[4] == 42.0
+
+    def test_dequeue_at_the_send_cycle_is_legal(self):
+        """The boundary every layer shares: an item is available at the
+        instant it was sent (occupancy counts it, skew allows it) — one
+        cycle earlier underflows."""
+        import pytest as _pytest
+
+        from repro.errors import QueueUnderflowError
+        from repro.machine.queue import TimedQueue
+
+        queue = TimedQueue("link")
+        queue.enqueue(5, 1.25)
+        assert queue.dequeue(5) == 1.25
+        queue.enqueue(9, 2.5)
+        with _pytest.raises(QueueUnderflowError, match="sent at"):
+            queue.dequeue(8)
+
+    def test_verifier_rejects_same_cycle_slot_reorder(self):
+        """The historical delay-line shape (store @q; load @q in one
+        cycle at unroll 3): reordering the slots must be flagged by the
+        independent verifier, not only by a lucky differential run."""
+        import dataclasses
+
+        from repro.config import DEFAULT_CONFIG
+        from repro.verify import mutate, verify_program
+
+        source = """
+module delayline (a in, b out)
+float a[12];
+float b[12];
+cellprogram (cid : 0 : 0)
+begin
+    float xin, old;
+    float buf[6];
+    int r, c;
+    for r := 0 to 1 do
+        for c := 0 to 5 do begin
+            receive (L, X, xin, a[r*6 + c]);
+            old := buf[c];
+            buf[c] := xin;
+            send (R, X, old, b[r*6 + c]);
+        end;
+end
+"""
+        config = dataclasses.replace(DEFAULT_CONFIG, verify="off")
+        program = compile_w2(source, config=config, unroll=3)
+        mutant = mutate(program, "swap_slots", 0)
+        assert mutant is not None
+        report = verify_program(mutant.program, level="full")
+        assert not report.ok
+        assert any(
+            check.startswith(("slot_order.", "hazard.", "stream.", "iu."))
+            for check in report.failed_checks()
+        ), report.format()
+
+
+class TestSkewEdgeCases:
+    """ISSUE 5 satellite: residual accounting and clamping edge cases in
+    the timing analyses."""
+
+    def test_exact_skew_clamps_at_zero(self):
+        """A channel whose sends all precede their receives imposes no
+        constraint: the exact method reports 0 (not a negative skew),
+        matching the bound method's clamp."""
+        import numpy as np_
+
+        from repro.lang import Channel
+        from repro.timing.skew import _exact_from_times
+
+        sends = np_.asarray([0, 1, 2], dtype=np_.int64)
+        recvs = np_.asarray([5, 6, 7], dtype=np_.int64)
+        entry = _exact_from_times(Channel.X, sends, recvs)
+        assert entry.skew == 0 and entry.method == "exact"
+
+    def test_single_cell_skew_reports_true_counts(self):
+        """method='none' channels of a single-cell program still carry
+        the real static send/receive counts (the verifier's conservation
+        checks read them), with the global skew floored at 1."""
+        from repro.programs import passthrough
+
+        program = compile_w2(passthrough(8, 1))
+        assert program.n_cells == 1
+        assert program.skew.skew == 1
+        from repro.lang import Channel
+
+        entry = program.skew.channel(Channel.X)
+        assert entry.method == "none" and entry.skew == 0
+        assert entry.n_sends == 8 and entry.n_receives == 8
+
+    def test_occupancy_counts_unconsumed_residual(self):
+        """Sends that are never received stay in the queue: occupancy is
+        bounded below by the residual, even at huge skew."""
+        import numpy as np_
+
+        from repro.timing.buffers import occupancy_requirement
+
+        sends = np_.asarray([0, 3, 6, 9], dtype=np_.int64)
+        recvs = np_.asarray([0, 3], dtype=np_.int64)
+        assert occupancy_requirement(sends, recvs, skew=100) >= 2
+        assert occupancy_requirement(sends, np_.asarray([], dtype=np_.int64), 0) == 4
+
+
 class TestConservationPad:
     def test_unconsumed_pads_are_legal(self):
         """The Figure 4-1 idiom sends one extra item per distribution

@@ -107,6 +107,7 @@ class TestSkewProperties:
             return  # unbalanced programs are rejected elsewhere
         exact = minimum_skew_exact(code, Channel.X)
         bound = minimum_skew_bound(code, Channel.X)
+        assert exact.skew >= 0  # clamped: a no-constraint channel is 0
         assert bound.skew >= exact.skew
 
     @given(synth_programs())
@@ -121,7 +122,59 @@ class TestSkewProperties:
         skew = minimum_skew_exact(code, Channel.X).skew
         matched = sends[: recvs.size]
         assert (matched <= recvs + skew).all()
-        assert not (matched <= recvs + skew - 1).all()
+        if skew > 0:
+            # Minimality only when the zero-clamp did not engage: at
+            # skew 0 the channel may have slack (all sends early).
+            assert not (matched <= recvs + skew - 1).all()
+
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_occupancy_residual_accounting(self, data):
+        """Direct-array occupancy with strictly fewer receives than
+        sends: the residual items left behind are accounted exactly."""
+        sends = np.asarray(
+            sorted(
+                data.draw(
+                    st.lists(
+                        st.integers(0, 50),
+                        min_size=1,
+                        max_size=12,
+                        unique=True,
+                    ),
+                    label="sends",
+                )
+            ),
+            dtype=np.int64,
+        )
+        m = data.draw(st.integers(0, sends.size - 1), label="n_recvs")
+        recvs = np.asarray(
+            sorted(
+                data.draw(
+                    st.lists(
+                        st.integers(0, 50),
+                        min_size=m,
+                        max_size=m,
+                        unique=True,
+                    ),
+                    label="recvs",
+                )
+            ),
+            dtype=np.int64,
+        )
+        extra = data.draw(st.integers(0, 8), label="extra_skew")
+        feasible = max(0, int((sends[:m] - recvs).max())) if m else 0
+        skew = feasible + extra
+        required = occupancy_requirement(sends, recvs, skew)
+        assert required >= sends.size - recvs.size  # the residual floor
+        events = [(int(t), 1) for t in sends] + [
+            (int(t) + skew, -1) for t in recvs
+        ]
+        events.sort(key=lambda e: (e[0], -e[1]))
+        occupancy = peak = 0
+        for _t, delta in events:
+            occupancy += delta
+            peak = max(peak, occupancy)
+        assert peak == required
 
     @given(synth_programs(), st.integers(min_value=0, max_value=10))
     @settings(max_examples=100, deadline=None)
